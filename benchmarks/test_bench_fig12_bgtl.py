@@ -1,0 +1,42 @@
+"""Fig. 12 and §IV-D — dataset 'BGTL': Bordeaux + Grenoble + Toulouse + Lyon.
+
+Paper: 4 × 16 nodes, 30 iterations; the four logical clusters are identified
+correctly, but this most complex setting needs the most iterations (~15) to
+reach perfect accuracy.
+"""
+
+from benchmarks.conftest import NUM_FRAGMENTS, SEED, report
+from repro.experiments.datasets import dataset_bgtl
+from repro.experiments.runners import run_dataset_clustering
+
+
+def test_fig12_bgtl_four_sites(bench_once):
+    ds = dataset_bgtl(per_site=8)
+    summary = bench_once(
+        run_dataset_clustering,
+        ds,
+        iterations=12,
+        num_fragments=NUM_FRAGMENTS,
+        seed=SEED,
+        track_convergence=True,
+    )
+    curve = summary["nmi_per_iteration"]
+    first_perfect = next((i + 1 for i, v in enumerate(curve) if v >= 0.99), None)
+
+    report(
+        "Fig. 12 / dataset B-G-T-L — four sites",
+        {
+            "hosts": summary["hosts"],
+            "paper clusters / NMI": "4 / 1.0 (needs ~15 iterations)",
+            "measured clusters / NMI": f"{summary['found_clusters']} / {summary['measured_nmi']:.3f}",
+            "measured NMI per iteration": [round(x, 2) for x in curve],
+            "iterations to perfect NMI": first_perfect,
+        },
+    )
+
+    assert summary["found_clusters"] == 4
+    assert summary["measured_nmi"] >= 0.99
+    assert first_perfect is not None
+    # The single-run clustering is generally *not* perfect: aggregation over
+    # iterations is what makes the metric reliable (the paper's key point).
+    assert first_perfect >= 1

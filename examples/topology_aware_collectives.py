@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Closing the loop: use the recovered clusters to speed up collectives.
+
+The paper's motivation (§I) is topology-aware collective communication: MPI
+broadcasts and all-to-all exchanges on heterogeneous networks run much faster
+when the communication schedule respects the logical bandwidth clusters.  Its
+future work proposes integrating the tomography output into communication
+libraries.  This example does exactly that on the simulated substrate:
+
+1. run the tomography pipeline on the Bordeaux dataset (1 GbE bottleneck);
+2. feed the recovered clusters to cluster-aware broadcast / allgather
+   schedules;
+3. compare their completion times against topology-agnostic schedules.
+
+Run with:  python examples/topology_aware_collectives.py
+"""
+
+from repro.applications.collectives import (
+    cluster_aware_allgather,
+    cluster_aware_broadcast,
+    flat_broadcast,
+    naive_allgather,
+)
+from repro.experiments.datasets import dataset_b
+from repro.tomography.pipeline import TomographyPipeline, default_swarm_config
+
+
+def main() -> None:
+    ds = dataset_b(bordeplage=8, bordereau=6, borderline=2)
+    print(f"dataset {ds.name}: {ds.num_hosts} hosts "
+          f"(Bordeplage behind a scaled 1 GbE bottleneck)\n")
+
+    # Phase 1+2: discover the logical clusters with the paper's method.
+    pipeline = TomographyPipeline(
+        ds.topology,
+        hosts=ds.hosts,
+        ground_truth=ds.ground_truth,
+        config=default_swarm_config(600),
+        seed=2012,
+    )
+    result = pipeline.run(iterations=6, track_convergence=False)
+    print(f"tomography: {result.num_clusters} logical clusters recovered "
+          f"(NMI vs ground truth {result.nmi:.2f})")
+    for i, cluster in enumerate(result.partition.clusters):
+        sample = sorted(cluster)[:3]
+        print(f"  cluster {i}: {len(cluster)} nodes, e.g. {', '.join(sample)}")
+
+    # Application: schedule collectives with and without that knowledge.
+    root = ds.hosts[0]
+    message = 50e6
+    block = 5e6
+
+    flat_bcast = flat_broadcast(ds.topology, ds.hosts, root, message)
+    aware_bcast = cluster_aware_broadcast(
+        ds.topology, ds.hosts, root, message, result.partition
+    )
+    naive_ag = naive_allgather(ds.topology, ds.hosts, block)
+    aware_ag = cluster_aware_allgather(ds.topology, ds.hosts, block, result.partition)
+
+    print(f"\nbroadcast of {message / 1e6:.0f} MB from {root}:")
+    print(f"  topology-agnostic : {flat_bcast.completion_time:6.2f} s")
+    print(f"  cluster-aware     : {aware_bcast.completion_time:6.2f} s "
+          f"({flat_bcast.completion_time / aware_bcast.completion_time:.1f}x faster)")
+
+    print(f"\nallgather of {block / 1e6:.0f} MB blocks:")
+    print(f"  topology-agnostic : {naive_ag.completion_time:6.2f} s")
+    print(f"  cluster-aware     : {aware_ag.completion_time:6.2f} s "
+          f"({naive_ag.completion_time / aware_ag.completion_time:.1f}x faster)")
+
+    print("\nThe cluster-aware schedules push bulk data across the bottleneck only")
+    print("once per cluster instead of once per destination — the benefit the")
+    print("paper's introduction attributes to topology-aware collectives.")
+
+
+if __name__ == "__main__":
+    main()

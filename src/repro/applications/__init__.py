@@ -1,0 +1,26 @@
+"""Applications of the tomography output.
+
+The paper motivates bandwidth tomography by topology-aware collective
+communication (MPI-style broadcasts and all-to-all exchanges on grids); its
+future-work section proposes integrating the recovered clustering into
+communication libraries.  This package provides that integration on the
+simulated substrate: cluster-aware collective schedules that use the logical
+clusters found by the tomography pipeline, and their topology-agnostic
+counterparts for comparison.
+"""
+
+from repro.applications.collectives import (
+    CollectiveResult,
+    cluster_aware_allgather,
+    cluster_aware_broadcast,
+    flat_broadcast,
+    naive_allgather,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "flat_broadcast",
+    "cluster_aware_broadcast",
+    "naive_allgather",
+    "cluster_aware_allgather",
+]

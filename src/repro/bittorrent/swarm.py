@@ -1,0 +1,353 @@
+"""Synchronized BitTorrent broadcast over the fluid network model.
+
+A broadcast starts with one *root* (seed) holding the complete file and every
+other host holding nothing; all clients start simultaneously and the
+broadcast is complete when the last client finishes downloading (the paper's
+reference completion time).
+
+The simulation advances in small control steps.  Between steps, data moves as
+max-min-fair fluid flows along the unchoke relation; at each step the
+accumulated bytes on every active (uploader → downloader) pipe are converted
+into fragments using rarest-first selection, the fragment counters are
+incremented, and choking/interest state is refreshed.  Full tit-for-tat
+rechokes happen every ``rechoke_interval`` seconds, and peers with idle
+upload slots grab newly interested neighbours immediately, as the reference
+client's choker effectively does.
+
+This "fluid BitTorrent" keeps the protocol features the paper identifies as
+the sources of measurement randomness — random initial peer choice, four
+upload slots, 35-peer sets, asymmetric broadcast data flow — while staying
+fast enough to run dozens of measurement iterations on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bittorrent.choking import DEFAULT_UPLOAD_SLOTS, ChokingPolicy
+from repro.bittorrent.instrumentation import FragmentMatrix
+from repro.bittorrent.peer import PeerState
+from repro.bittorrent.selection import PieceSelector
+from repro.bittorrent.torrent import TorrentMeta
+from repro.bittorrent.tracker import DEFAULT_MAX_PEERS, Tracker
+from repro.network.fluid import FluidNetwork, FluidTransfer
+from repro.network.grid5000 import DEFAULT_TCP_WINDOW, flow_rate_cap
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True)
+class SwarmConfig:
+    """Tunable parameters of a broadcast simulation.
+
+    The defaults mirror the reference client (4 upload slots, 35-peer sets,
+    16 KiB fragments); ``control_dt`` and ``rechoke_interval`` are simulation
+    knobs whose paper counterparts are continuous TCP dynamics and the 10 s
+    rechoke timer respectively.
+    """
+
+    torrent: TorrentMeta
+    upload_slots: int = DEFAULT_UPLOAD_SLOTS
+    max_peers: int = DEFAULT_MAX_PEERS
+    rechoke_interval: float = 5.0
+    optimistic_every: int = 3
+    control_dt: float = 0.1
+    tcp_window: Optional[float] = DEFAULT_TCP_WINDOW
+    random_first_threshold: int = 4
+    max_sim_time: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.control_dt <= 0:
+            raise ValueError("control_dt must be positive")
+        if self.rechoke_interval < self.control_dt:
+            raise ValueError("rechoke_interval must be at least control_dt")
+        if self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one synchronized broadcast.
+
+    Attributes
+    ----------
+    fragments:
+        Directed fragment counts (the measurement of this iteration).
+    root:
+        The seeding host.
+    duration:
+        Maximum download completion time over all clients (seconds).
+    completion_times:
+        Per-host download completion time.
+    distinct_edges:
+        Number of unordered host pairs that exchanged at least one fragment.
+    """
+
+    fragments: FragmentMatrix
+    root: str
+    duration: float
+    completion_times: Dict[str, float]
+    distinct_edges: int
+
+    @property
+    def hosts(self) -> List[str]:
+        return list(self.fragments.labels)
+
+
+class BitTorrentBroadcast:
+    """Runs synchronized instrumented broadcasts on a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network substrate.
+    hosts:
+        Hosts participating in the swarm; defaults to every host in the
+        topology.
+    config:
+        Swarm parameters; ``SwarmConfig(torrent=...)`` at minimum.
+    routing:
+        Optional pre-built routing table (shared across iterations for speed).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]] = None,
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.routing = routing or RoutingTable(topology)
+        if hosts is None:
+            hosts = topology.host_names
+        hosts = list(hosts)
+        if len(hosts) < 2:
+            raise ValueError("a broadcast needs at least two hosts")
+        unknown = [h for h in hosts if not topology.is_host(h)]
+        if unknown:
+            raise ValueError(f"unknown hosts: {unknown}")
+        if len(set(hosts)) != len(hosts):
+            raise ValueError("duplicate hosts in swarm")
+        self.hosts = hosts
+        self.tracker = Tracker(max_peers=config.max_peers)
+        self.choking = ChokingPolicy(
+            upload_slots=config.upload_slots, optimistic_every=config.optimistic_every
+        )
+        # Per-pair TCP rate caps are pure topology functions: cache them.
+        self._rate_cap_cache: Dict[Tuple[str, str], Optional[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _rate_cap(self, src: str, dst: str) -> Optional[float]:
+        if self.config.tcp_window is None:
+            return None
+        key = (src, dst)
+        if key not in self._rate_cap_cache:
+            cap = flow_rate_cap(self.routing, src, dst, self.config.tcp_window)
+            self._rate_cap_cache[key] = cap if np.isfinite(cap) else None
+        return self._rate_cap_cache[key]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        root: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BroadcastResult:
+        """Simulate one synchronized broadcast and return its measurement.
+
+        Parameters
+        ----------
+        root:
+            Seeding host; defaults to the first host in the swarm.
+        rng:
+            Random generator driving peer selection, choking and piece
+            selection for this iteration.
+        """
+        if rng is None:
+            rng = np.random.default_rng()
+        if root is None:
+            root = self.hosts[0]
+        if root not in self.hosts:
+            raise ValueError(f"root {root!r} is not part of the swarm")
+
+        cfg = self.config
+        num_fragments = cfg.torrent.num_fragments
+        fragment_size = cfg.torrent.fragment_size
+
+        peers: Dict[str, PeerState] = {
+            name: PeerState(name=name, index=i, num_fragments=num_fragments)
+            for i, name in enumerate(self.hosts)
+        }
+        peers[root].make_seed()
+        peers[root].completion_time = 0.0
+
+        selector = PieceSelector(
+            num_fragments, random_first_threshold=cfg.random_first_threshold
+        )
+        for peer in peers.values():
+            selector.register_bitfield(peer.have)
+
+        connections = self.tracker.build_connections(self.hosts, rng)
+        for name, neighbor_set in connections.items():
+            peers[name].neighbors = set(neighbor_set)
+
+        fluid = FluidNetwork(self.topology, self.routing)
+        fragments = FragmentMatrix(self.hosts)
+
+        # Active fluid pipes keyed by (uploader, downloader).
+        pipes: Dict[Tuple[str, str], FluidTransfer] = {}
+        consumed: Dict[Tuple[str, str], float] = {}
+        progress: Dict[Tuple[str, str], float] = {}
+
+        incomplete: Set[str] = {name for name in self.hosts if name != root}
+        time = 0.0
+        round_index = 0
+        next_rechoke = 0.0
+
+        def interested_in(uploader: str) -> List[str]:
+            """Neighbours of ``uploader`` that want something it has."""
+            up = peers[uploader]
+            return sorted(
+                d
+                for d in up.neighbors
+                if d in incomplete and peers[d].is_interested_in(up)
+            )
+
+        def open_pipe(uploader: str, downloader: str) -> None:
+            key = (uploader, downloader)
+            if key in pipes:
+                return
+            transfer = fluid.start_transfer(
+                uploader,
+                downloader,
+                size=float(cfg.torrent.size) * 4.0 + 1.0,
+                rate_cap=self._rate_cap(uploader, downloader),
+            )
+            pipes[key] = transfer
+            consumed[key] = transfer.transferred
+            progress.setdefault(key, 0.0)
+
+        def close_pipe(uploader: str, downloader: str, keep_progress: bool = True) -> None:
+            key = (uploader, downloader)
+            transfer = pipes.pop(key, None)
+            if transfer is not None:
+                fluid.cancel_transfer(transfer)
+            consumed.pop(key, None)
+            if not keep_progress:
+                progress.pop(key, None)
+
+        def sync_pipes() -> None:
+            """Make the fluid flow set match the current unchoke/interest state.
+
+            Iteration is over *sorted* unchoke sets so that the order in which
+            pipes are opened — and therefore the consumption of the random
+            stream — is identical across processes regardless of string-hash
+            randomisation; campaigns replay bit-for-bit from their seed.
+            """
+            for uploader, up in peers.items():
+                if up.fragment_count == 0:
+                    continue
+                for downloader in sorted(up.unchoked):
+                    if downloader not in up.neighbors:
+                        up.unchoked.discard(downloader)
+                        close_pipe(uploader, downloader)
+                        continue
+                    down = peers[downloader]
+                    if downloader not in incomplete or not down.is_interested_in(up):
+                        close_pipe(uploader, downloader)
+                    else:
+                        open_pipe(uploader, downloader)
+            # Drop pipes whose uploader revoked the unchoke.
+            for uploader, downloader in sorted(pipes.keys()):
+                if downloader not in peers[uploader].unchoked:
+                    close_pipe(uploader, downloader)
+
+        max_steps = int(np.ceil(cfg.max_sim_time / cfg.control_dt)) + 1
+        for _step in range(max_steps):
+            if not incomplete:
+                break
+
+            # --- choking -------------------------------------------------- #
+            if time >= next_rechoke - 1e-12:
+                for name in rng.permutation(self.hosts):
+                    peer = peers[name]
+                    candidates = interested_in(name)
+                    peer.unchoked = self.choking.rechoke(
+                        peer, candidates, round_index, rng
+                    )
+                    peer.reset_round()
+                round_index += 1
+                next_rechoke += cfg.rechoke_interval
+            else:
+                # Fill idle upload slots as soon as someone becomes interested.
+                for name in self.hosts:
+                    peer = peers[name]
+                    if peer.fragment_count == 0:
+                        continue
+                    peer.unchoked = {
+                        d for d in peer.unchoked if d in incomplete or d == root
+                    }
+                    free = self.choking.upload_slots - len(peer.unchoked)
+                    if free <= 0:
+                        continue
+                    waiting = [d for d in interested_in(name) if d not in peer.unchoked]
+                    if not waiting:
+                        continue
+                    picks = rng.choice(len(waiting), size=min(free, len(waiting)),
+                                       replace=False)
+                    peer.unchoked.update(waiting[i] for i in picks)
+
+            sync_pipes()
+
+            # --- data movement -------------------------------------------- #
+            fluid.advance(cfg.control_dt)
+            time += cfg.control_dt
+
+            for (uploader, downloader), transfer in sorted(pipes.items()):
+                delta = transfer.transferred - consumed[(uploader, downloader)]
+                if delta <= 0:
+                    continue
+                consumed[(uploader, downloader)] = transfer.transferred
+                down = peers[downloader]
+                up = peers[uploader]
+                down.credit_download(uploader, delta)
+                progress[(uploader, downloader)] += delta
+                while progress[(uploader, downloader)] >= fragment_size:
+                    fragment = selector.select(down, up, rng)
+                    if fragment is None:
+                        # Nothing useful left on this pipe; drop the surplus.
+                        progress[(uploader, downloader)] = 0.0
+                        break
+                    progress[(uploader, downloader)] -= fragment_size
+                    down.receive_fragment(fragment)
+                    selector.record_receipt(fragment)
+                    fragments.record(downloader, uploader)
+                    if down.is_seed:
+                        down.completion_time = time
+                        incomplete.discard(downloader)
+                        break
+
+        else:
+            raise RuntimeError(
+                f"broadcast did not complete within max_sim_time="
+                f"{cfg.max_sim_time}s ({len(incomplete)} hosts incomplete)"
+            )
+
+        completion_times = {
+            name: (peer.completion_time if peer.completion_time is not None else time)
+            for name, peer in peers.items()
+        }
+        duration = max(t for name, t in completion_times.items() if name != root)
+        symmetric = fragments.symmetric_weights()
+        distinct_edges = int(np.count_nonzero(np.triu(symmetric, k=1)))
+        return BroadcastResult(
+            fragments=fragments,
+            root=root,
+            duration=duration,
+            completion_times=completion_times,
+            distinct_edges=distinct_edges,
+        )

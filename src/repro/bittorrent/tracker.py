@@ -1,0 +1,70 @@
+"""Tracker: hands each joining peer a bounded random peer set.
+
+The original client limits the number of peers a client knows to 35; the
+paper notes this is one source of measurement sparsity — for swarms larger
+than ~35 nodes a single broadcast only exercises a subset of all possible
+edges, and aggregation over iterations fills in the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+#: Default maximum peer-set size of the reference client.
+DEFAULT_MAX_PEERS = 35
+
+
+class Tracker:
+    """Assigns every peer a random subset of the swarm as its peer set.
+
+    The resulting *connection graph* is the symmetric closure of the
+    "knows-about" relation: if either end learned about the other from the
+    tracker, the pair may exchange data (as in the real protocol, where the
+    discovering side initiates the TCP connection).
+    """
+
+    def __init__(self, max_peers: int = DEFAULT_MAX_PEERS) -> None:
+        if max_peers < 1:
+            raise ValueError(f"max_peers must be at least 1, got {max_peers}")
+        self.max_peers = max_peers
+
+    def build_connections(
+        self, peer_names: Sequence[str], rng: np.random.Generator
+    ) -> Dict[str, Set[str]]:
+        """Return the symmetric connection sets for every peer.
+
+        Parameters
+        ----------
+        peer_names:
+            All peers in the swarm (including the seed).
+        rng:
+            Random generator for this broadcast iteration.
+        """
+        names = list(peer_names)
+        if len(set(names)) != len(names):
+            raise ValueError("peer names must be unique")
+        if len(names) < 2:
+            raise ValueError("a swarm needs at least two peers")
+        known: Dict[str, Set[str]] = {name: set() for name in names}
+        for name in names:
+            others = [p for p in names if p != name]
+            count = min(self.max_peers, len(others))
+            picks = rng.choice(len(others), size=count, replace=False)
+            known[name].update(others[i] for i in picks)
+        # Symmetric closure: a connection exists if either side knows the other.
+        connections: Dict[str, Set[str]] = {name: set() for name in names}
+        for name, peers in known.items():
+            for other in peers:
+                connections[name].add(other)
+                connections[other].add(name)
+        return connections
+
+    def connection_density(self, connections: Dict[str, Set[str]]) -> float:
+        """Fraction of all possible peer pairs that are connected."""
+        n = len(connections)
+        if n < 2:
+            return 0.0
+        edges = sum(len(v) for v in connections.values()) / 2.0
+        return edges / (n * (n - 1) / 2.0)

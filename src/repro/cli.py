@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command> [options]``.
+
+The CLI exposes the experiment runners so that every figure of the paper can
+be regenerated without writing Python:
+
+* ``python -m repro list-datasets`` — the available named datasets;
+* ``python -m repro run-dataset B-G-T --per-site 8 --iterations 10`` — run the
+  full two-phase method on one dataset and print the recovered clusters;
+* ``python -m repro fig4 | fig5 | fig13`` — the corresponding figure runners;
+* ``python -m repro efficiency`` — broadcast-efficiency and baseline-cost rows;
+* ``python -m repro netpipe`` — the NetPIPE reference probes.
+
+All commands print human-readable text to stdout and return a process exit
+code of 0 on success, so they compose with shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.visualize import ascii_cluster_table, render_fig4_bars
+from repro.experiments.datasets import DATASETS, dataset, dataset_b
+from repro.experiments.runners import (
+    run_baseline_cost,
+    run_broadcast_efficiency,
+    run_dataset_clustering,
+    run_fig4,
+    run_fig5,
+    run_fig13,
+    run_netpipe_reference,
+)
+
+
+def _build_dataset(name: str, per_site: int):
+    """Instantiate a named dataset at the requested per-site scale."""
+    if name == "2x2":
+        return dataset("2x2")
+    if name == "B":
+        return dataset_b(
+            bordeplage=per_site,
+            bordereau=max(per_site - per_site // 4, 1),
+            borderline=max(per_site // 4, 1),
+        )
+    return dataset(name, per_site=per_site)
+
+
+def _cmd_list_datasets(_args: argparse.Namespace) -> int:
+    print("available datasets (named as in the paper's Fig. 13):")
+    for name in DATASETS:
+        ds = _build_dataset(name, 4)
+        print(
+            f"  {name:8s} {ds.expectation.description} "
+            f"(expected clusters: {ds.expectation.expected_clusters})"
+        )
+    return 0
+
+
+def _cmd_run_dataset(args: argparse.Namespace) -> int:
+    ds = _build_dataset(args.dataset, args.per_site)
+    summary = run_dataset_clustering(
+        ds,
+        iterations=args.iterations,
+        num_fragments=args.fragments,
+        seed=args.seed,
+        track_convergence=True,
+    )
+    result = summary["result"]
+    print(f"dataset {ds.name}: {summary['hosts']} hosts, {args.iterations} iterations")
+    print(f"clusters found: {summary['found_clusters']} "
+          f"(paper: {summary['expected_clusters']})")
+    print(f"overlapping NMI vs ground truth: {summary['measured_nmi']:.3f} "
+          f"(paper: {summary['paper_nmi']})")
+    print(f"modularity: {summary['modularity']:.3f}")
+    print(f"NMI per iteration: {[round(v, 2) for v in summary['nmi_per_iteration']]}")
+    print(f"simulated measurement time: {summary['measurement_time_s']:.1f} s")
+    print()
+    print(ascii_cluster_table(result.partition, ground_truth=ds.ground_truth))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    outcome = run_fig4(
+        bordeplage=args.per_site,
+        bordereau=max(args.per_site - args.per_site // 4, 1),
+        borderline=max(args.per_site // 4, 1),
+        iterations=args.iterations,
+        num_fragments=args.fragments,
+        seed=args.seed,
+    )
+    print(f"focus host: {outcome['focus_host']} ({args.iterations} iterations)")
+    print(render_fig4_bars(outcome["local_edges"], outcome["remote_edges"]))
+    print(f"paper totals: local 22533 / remote 6337")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    outcome = run_fig5(
+        cluster_nodes=args.per_site * 2,
+        iterations=args.iterations,
+        num_fragments=args.fragments,
+        seed=args.seed,
+    )
+    print(f"edge {outcome['edge'][0]} -- {outcome['edge'][1]} over "
+          f"{outcome['iterations']} independent runs:")
+    print(f"  zero-fragment runs: {outcome['zero_runs']}")
+    print(f"  nonzero range: {outcome['nonzero_min']:.0f}..{outcome['nonzero_max']:.0f}")
+    print(f"  mean {outcome['mean']:.1f}, std {outcome['std']:.1f} "
+          f"(coefficient of variation {outcome['coefficient_of_variation']:.2f})")
+    print("paper: 23/36 runs zero, nonzero range 3..6304")
+    return 0
+
+
+def _cmd_fig13(args: argparse.Namespace) -> int:
+    studies = run_fig13(
+        per_site=args.per_site,
+        iterations=args.iterations,
+        num_fragments=args.fragments,
+        seed=args.seed,
+    )
+    for name, study in studies.items():
+        reached = study.iterations_to_reach(0.99)
+        print(f"{name:8s} final NMI {study.final_nmi:.2f} "
+              f"(>=0.99 after {reached if reached else '-'} iterations) "
+              f"curve {[round(v, 2) for v in study.curve]}")
+    return 0
+
+
+def _cmd_efficiency(args: argparse.Namespace) -> int:
+    broadcast = run_broadcast_efficiency(num_fragments=args.fragments, seed=args.seed)
+    print("broadcast duration by swarm size (s):")
+    for nodes, duration in sorted(broadcast["durations_by_nodes"].items()):
+        print(f"  {nodes:4d} nodes  {duration:.2f}")
+    print("broadcast duration by file size (fragments -> s):")
+    for fragments, duration in sorted(broadcast["durations_by_fragments"].items()):
+        print(f"  {fragments:5d} fragments  {duration:.2f}")
+    cost = run_baseline_cost(seed=args.seed)
+    print("measurement cost comparison (simulated seconds):")
+    for row in cost["rows"]:
+        print(
+            f"  N={row['nodes']:3d}  BitTorrent {row['bittorrent_time_s']:7.1f}   "
+            f"pairwise {row['pairwise_time_s']:7.1f} ({row['pairwise_probes']} probes)   "
+            f"triplet {row['triplet_time_s']:8.1f} ({row['triplet_probes']} probes)"
+        )
+    return 0
+
+
+def _cmd_netpipe(_args: argparse.Namespace) -> int:
+    outcome = run_netpipe_reference()
+    print(f"intra-cluster peak bandwidth: {outcome['intra_cluster_mbps']:.0f} Mb/s "
+          f"(paper: {outcome['paper_intra_cluster_mbps']:.0f})")
+    print(f"inter-site peak bandwidth:    {outcome['inter_site_mbps']:.0f} Mb/s "
+          f"(paper: {outcome['paper_inter_site_mbps']:.0f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of BitTorrent-based bandwidth tomography (SC 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale_args(p: argparse.ArgumentParser, iterations: int = 8) -> None:
+        p.add_argument("--per-site", type=int, default=8,
+                       help="nodes per site (paper: 32)")
+        p.add_argument("--iterations", type=int, default=iterations,
+                       help="measurement iterations (paper: 30-36)")
+        p.add_argument("--fragments", type=int, default=600,
+                       help="fragments per broadcast (paper: 15259)")
+        p.add_argument("--seed", type=int, default=2012, help="experiment seed")
+
+    sub.add_parser("list-datasets", help="list the paper's named datasets")
+
+    run_parser = sub.add_parser("run-dataset", help="run the tomography pipeline on a dataset")
+    run_parser.add_argument("dataset", choices=sorted(DATASETS), help="dataset name")
+    add_scale_args(run_parser)
+
+    fig4 = sub.add_parser("fig4", help="per-edge metric of a fixed node (Fig. 4)")
+    add_scale_args(fig4, iterations=12)
+
+    fig5 = sub.add_parser("fig5", help="single-edge variance across runs (Fig. 5)")
+    add_scale_args(fig5, iterations=24)
+
+    fig13 = sub.add_parser("fig13", help="NMI convergence for all datasets (Fig. 13)")
+    add_scale_args(fig13, iterations=10)
+
+    efficiency = sub.add_parser("efficiency", help="broadcast efficiency and baseline cost (Sec. II-B)")
+    efficiency.add_argument("--fragments", type=int, default=400)
+    efficiency.add_argument("--seed", type=int, default=2012)
+
+    sub.add_parser("netpipe", help="NetPIPE reference bandwidths")
+
+    return parser
+
+
+_COMMANDS = {
+    "list-datasets": _cmd_list_datasets,
+    "run-dataset": _cmd_run_dataset,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig13": _cmd_fig13,
+    "efficiency": _cmd_efficiency,
+    "netpipe": _cmd_netpipe,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Clustering phase of the tomography method.
+
+The paper's analysis phase optimizes weighted Newman–Girvan modularity with
+the Louvain method and evaluates the recovered clustering against a
+ground-truth partition using (overlapping) Normalized Mutual Information.
+An Infomap-style map-equation clusterer is included because the paper reports
+trying it and finding it inferior for this problem.
+"""
+
+from repro.clustering.partition import Partition
+from repro.clustering.modularity import modularity, modularity_matrix_form
+from repro.clustering.louvain import LouvainResult, louvain
+from repro.clustering.infomap import infomap
+from repro.clustering.hierarchical import HierarchicalClustering, recursive_louvain
+from repro.clustering.nmi import normalized_mutual_information, overlapping_nmi
+
+__all__ = [
+    "Partition",
+    "modularity",
+    "modularity_matrix_form",
+    "LouvainResult",
+    "louvain",
+    "infomap",
+    "HierarchicalClustering",
+    "recursive_louvain",
+    "normalized_mutual_information",
+    "overlapping_nmi",
+]

@@ -1,0 +1,130 @@
+"""A two-level map-equation ("Infomap") clusterer.
+
+The paper mentions trying Infomap (Rosvall & Bergström 2008) as an
+alternative to modularity clustering and finding it less effective on the
+tomography graphs; this module provides a self-contained two-level map
+equation optimiser so that comparison can be reproduced
+(``benchmarks/test_bench_ablation_clustering.py``).
+
+For an undirected weighted graph the stationary visit frequency of node α is
+``p_α = k_α / 2m``; the per-module exit probability is the weight of edges
+leaving the module divided by ``2m``.  The description length
+
+    L(M) = q H(Q) + Σ_i (q_i + p_i) H(P_i)
+
+is minimised by Louvain-style local moving of nodes between modules,
+recomputing the affected terms exactly (the graphs in this application have
+at most a few hundred nodes, so exact recomputation is cheap and keeps the
+implementation easy to verify).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+
+Node = Hashable
+
+
+def _plogp(x: float) -> float:
+    """``x log2 x`` with the convention ``0 log 0 = 0``."""
+    if x <= 0.0:
+        return 0.0
+    return x * math.log2(x)
+
+
+def map_equation(graph: WeightedGraph, partition: Partition) -> float:
+    """Description length (bits) of a random walk under a two-level partition."""
+    total = graph.total_weight()
+    if total <= 0:
+        raise ValueError("map equation is undefined for graphs with zero total weight")
+    two_m = 2.0 * total
+
+    node_p = {node: graph.degree_weight(node) / two_m for node in graph.nodes()}
+
+    num_modules = partition.num_clusters
+    module_p = [0.0] * num_modules
+    module_exit = [0.0] * num_modules
+    for node, p in node_p.items():
+        module_p[partition.cluster_index(node)] += p
+    for u, v, w in graph.edges():
+        cu = partition.cluster_index(u)
+        cv = partition.cluster_index(v)
+        if cu != cv:
+            module_exit[cu] += w / two_m
+            module_exit[cv] += w / two_m
+
+    q_total = sum(module_exit)
+
+    # Index codebook: H(Q) weighted by q_total.
+    index_term = _plogp(q_total) - sum(_plogp(q) for q in module_exit)
+
+    # Module codebooks.
+    module_term = 0.0
+    for i in range(num_modules):
+        inside = module_exit[i] + module_p[i]
+        module_term += _plogp(inside)
+    module_term -= sum(_plogp(q) for q in module_exit)
+    module_term -= sum(_plogp(p) for p in node_p.values())
+
+    # Note the node-visit entropy term is partition independent but kept so the
+    # value matches the textbook definition of L(M).
+    return index_term + module_term
+
+
+def infomap(
+    graph: WeightedGraph,
+    rng: Optional[np.random.Generator] = None,
+    max_sweeps: int = 50,
+) -> Partition:
+    """Greedy two-level map-equation clustering.
+
+    Starts from singleton modules and performs local-moving sweeps (each node
+    tries every neighbouring module and the move that most decreases the map
+    equation is applied) until a full sweep makes no move.
+    """
+    if graph.total_weight() <= 0:
+        raise ValueError("Infomap requires a graph with positive total edge weight")
+
+    nodes = graph.nodes()
+    membership: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+
+    def as_partition() -> Partition:
+        return Partition.from_membership(membership)
+
+    current_length = map_equation(graph, as_partition())
+
+    for _sweep in range(max_sweeps):
+        if rng is None:
+            order = sorted(nodes, key=repr)
+        else:
+            order = list(nodes)
+            rng.shuffle(order)
+        moved = False
+        for node in order:
+            original = membership[node]
+            candidate_modules = {
+                membership[nbr] for nbr in graph.neighbors(node) if nbr != node
+            }
+            candidate_modules.discard(original)
+            best_module = original
+            best_length = current_length
+            for module in candidate_modules:
+                membership[node] = module
+                trial_length = map_equation(graph, as_partition())
+                if trial_length < best_length - 1e-12:
+                    best_length = trial_length
+                    best_module = module
+            membership[node] = best_module
+            if best_module != original:
+                current_length = best_length
+                moved = True
+        if not moved:
+            break
+
+    return as_partition()

@@ -1,0 +1,228 @@
+"""The Louvain method (Blondel et al. 2008) for weighted modularity maximisation.
+
+The algorithm alternates two phases until modularity stops improving:
+
+1. **local moving** — repeatedly move single nodes to the neighbouring
+   community that yields the largest modularity gain;
+2. **aggregation** — collapse each community into a super-node (intra-community
+   weight becomes a self-loop) and repeat on the smaller graph.
+
+Each aggregation produces one level of the dendrogram.  As in the paper, the
+partition returned by :func:`louvain` is the dendrogram cut with the highest
+modularity — in practice the final level, since every level is at least as
+good as the previous one, but the full dendrogram is exposed for the
+hierarchical extension the paper discusses as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clustering.modularity import modularity
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+
+Node = Hashable
+
+
+@dataclass
+class LouvainResult:
+    """Outcome of a Louvain run.
+
+    Attributes
+    ----------
+    partition:
+        Best partition found (highest-modularity dendrogram cut).
+    modularity:
+        Its modularity value.
+    dendrogram:
+        One partition (of the *original* nodes) per aggregation level, coarse
+        levels last.
+    levels:
+        Number of aggregation levels performed.
+    """
+
+    partition: Partition
+    modularity: float
+    dendrogram: List[Partition]
+    levels: int
+
+
+class _LouvainState:
+    """Mutable community bookkeeping for one level of local moving."""
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.nodes = graph.nodes()
+        self.total_weight = graph.total_weight()
+        self.node_degree: Dict[Node, float] = {
+            node: graph.degree_weight(node) for node in self.nodes
+        }
+        self.self_loops: Dict[Node, float] = {
+            node: graph.edge_weight(node, node) for node in self.nodes
+        }
+        # community id -> sum of member degrees; start with singletons.
+        self.community: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.community_degree: Dict[int, float] = {
+            self.community[node]: self.node_degree[node] for node in self.nodes
+        }
+
+    def neighbour_community_weights(self, node: Node) -> Dict[int, float]:
+        """Total edge weight from ``node`` to each neighbouring community."""
+        weights: Dict[int, float] = {}
+        for nbr, w in self.graph.neighbors(node).items():
+            if nbr == node:
+                continue
+            community = self.community[nbr]
+            weights[community] = weights.get(community, 0.0) + w
+        return weights
+
+    def remove(self, node: Node) -> None:
+        community = self.community[node]
+        self.community_degree[community] -= self.node_degree[node]
+        if self.community_degree[community] <= 1e-12:
+            self.community_degree[community] = 0.0
+        self.community[node] = -1
+
+    def insert(self, node: Node, community: int) -> None:
+        self.community[node] = community
+        self.community_degree[community] = (
+            self.community_degree.get(community, 0.0) + self.node_degree[node]
+        )
+
+    def gain(self, node: Node, community: int, weight_to_community: float) -> float:
+        """Modularity gain of inserting ``node`` (currently removed) into ``community``."""
+        two_m = 2.0 * self.total_weight
+        sigma_tot = self.community_degree.get(community, 0.0)
+        k_i = self.node_degree[node]
+        return weight_to_community / self.total_weight - (sigma_tot * k_i) / (two_m * two_m / 2.0)
+
+    def one_pass(self, order: Sequence[Node]) -> bool:
+        """One sweep of local moving; returns True if any node moved."""
+        moved = False
+        for node in order:
+            current = self.community[node]
+            weights = self.neighbour_community_weights(node)
+            self.remove(node)
+            best_community = current
+            best_gain = self.gain(node, current, weights.get(current, 0.0))
+            for community, weight in weights.items():
+                candidate_gain = self.gain(node, community, weight)
+                if candidate_gain > best_gain + 1e-12:
+                    best_gain = candidate_gain
+                    best_community = community
+            self.insert(node, best_community)
+            if best_community != current:
+                moved = True
+        return moved
+
+    def partition(self) -> Partition:
+        groups: Dict[int, set] = {}
+        for node, community in self.community.items():
+            groups.setdefault(community, set()).add(node)
+        return Partition(groups.values())
+
+
+def _aggregate(graph: WeightedGraph, partition: Partition) -> WeightedGraph:
+    """Collapse each cluster to a super-node; intra-cluster weight becomes a self-loop."""
+    aggregated = WeightedGraph()
+    for idx in range(partition.num_clusters):
+        aggregated.add_node(idx)
+    for u, v, w in graph.edges():
+        cu = partition.cluster_index(u)
+        cv = partition.cluster_index(v)
+        aggregated.add_edge(cu, cv, w, accumulate=True)
+    return aggregated
+
+
+def louvain(
+    graph: WeightedGraph,
+    rng: Optional[np.random.Generator] = None,
+    max_levels: int = 32,
+    min_gain: float = 1e-9,
+) -> LouvainResult:
+    """Run the Louvain method on a weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph (the aggregated tomography measurement).
+    rng:
+        Generator used to randomise the node visiting order; ``None`` uses a
+        deterministic (sorted) order, which is what the pipeline defaults to
+        so that experiment results are reproducible.
+    max_levels:
+        Safety bound on aggregation levels.
+    min_gain:
+        Stop when a full level improves modularity by less than this.
+
+    Raises
+    ------
+    ValueError
+        If the graph has no edges with positive weight (modularity undefined).
+    """
+    if graph.total_weight() <= 0:
+        raise ValueError("Louvain requires a graph with positive total edge weight")
+
+    original_nodes = graph.nodes()
+    # Maps every original node to its current super-node in the working graph.
+    node_to_super: Dict[Node, Node] = {node: node for node in original_nodes}
+
+    working = graph.copy()
+    dendrogram: List[Partition] = []
+    best_partition = Partition.singletons(original_nodes)
+    best_q = modularity(graph, best_partition)
+
+    for _level in range(max_levels):
+        state = _LouvainState(working)
+        if rng is None:
+            order = sorted(working.nodes(), key=repr)
+        else:
+            order = list(working.nodes())
+            rng.shuffle(order)
+        improved_any = False
+        for _sweep in range(1000):
+            if not state.one_pass(order):
+                break
+            improved_any = True
+        local_partition = state.partition()
+
+        # Express the level's partition in terms of the original nodes.
+        super_cluster = {
+            super_node: local_partition.cluster_index(super_node)
+            for super_node in working.nodes()
+        }
+        membership = {
+            node: super_cluster[node_to_super[node]] for node in original_nodes
+        }
+        level_partition = Partition.from_membership(membership)
+        level_q = modularity(graph, level_partition)
+        dendrogram.append(level_partition)
+
+        if level_q > best_q + min_gain:
+            best_q = level_q
+            best_partition = level_partition
+        elif not improved_any or level_q <= best_q + min_gain:
+            break
+
+        # Aggregate and continue on the coarser graph.
+        working_new = _aggregate(working, local_partition)
+        node_to_super = {
+            node: local_partition.cluster_index(node_to_super[node])
+            for node in original_nodes
+        }
+        working = working_new
+        if len(working) <= 1:
+            break
+
+    if not dendrogram:
+        dendrogram.append(best_partition)
+    return LouvainResult(
+        partition=best_partition,
+        modularity=best_q,
+        dendrogram=dendrogram,
+        levels=len(dendrogram),
+    )

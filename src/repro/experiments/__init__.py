@@ -1,0 +1,41 @@
+"""Named experiment datasets and per-figure runners reproducing the evaluation."""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    Dataset,
+    dataset,
+    dataset_2x2,
+    dataset_b,
+    dataset_bgt,
+    dataset_bgtl,
+    dataset_bt,
+    dataset_gt,
+)
+from repro.experiments.runners import (
+    run_baseline_cost,
+    run_broadcast_efficiency,
+    run_dataset_clustering,
+    run_fig4,
+    run_fig5,
+    run_fig13,
+    run_netpipe_reference,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "dataset",
+    "dataset_2x2",
+    "dataset_b",
+    "dataset_bt",
+    "dataset_gt",
+    "dataset_bgt",
+    "dataset_bgtl",
+    "run_dataset_clustering",
+    "run_fig4",
+    "run_fig5",
+    "run_fig13",
+    "run_broadcast_efficiency",
+    "run_baseline_cost",
+    "run_netpipe_reference",
+]

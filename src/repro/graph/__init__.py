@@ -1,0 +1,5 @@
+"""Lightweight weighted-graph types shared by the clustering and layout code."""
+
+from repro.graph.wgraph import WeightedGraph
+
+__all__ = ["WeightedGraph"]

@@ -1,0 +1,256 @@
+"""A small weighted undirected graph.
+
+The clustering algorithms (Louvain, Infomap), the layout code and the
+tomography pipeline all operate on the same structure: an undirected graph
+whose nodes are arbitrary hashable labels (host names in practice) and whose
+edges carry a non-negative weight (the aggregated fragment metric ``w(e)``).
+
+``networkx`` is available in the environment, but the algorithmic core of the
+reproduction is implemented against this class so that the clustering and
+layout substrates are self-contained; a :meth:`to_networkx` converter is
+provided for interoperability and visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def _edge_key(u: Node, v: Node) -> Edge:
+    """Canonical (sorted by repr) key for an undirected edge."""
+    if repr(u) <= repr(v):
+        return (u, v)
+    return (v, u)
+
+
+class WeightedGraph:
+    """Undirected graph with non-negative edge weights and optional self-loops.
+
+    The class keeps an adjacency map ``node -> {neighbour: weight}`` plus a
+    cached total weight, which is what modularity computations need.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[Node, Node, float]], nodes: Optional[Iterable[Node]] = None
+    ) -> "WeightedGraph":
+        """Build a graph from ``(u, v, weight)`` triples.
+
+        Repeated edges accumulate their weights, matching the aggregation of
+        fragment counts over BitTorrent iterations.
+        """
+        graph = cls()
+        if nodes is not None:
+            for node in nodes:
+                graph.add_node(node)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w, accumulate=True)
+        return graph
+
+    @classmethod
+    def from_weight_matrix(
+        cls, matrix: np.ndarray, labels: Optional[List[Node]] = None, tol: float = 0.0
+    ) -> "WeightedGraph":
+        """Build a graph from a symmetric weight matrix.
+
+        Parameters
+        ----------
+        matrix:
+            Square, symmetric array; entry ``[i, j]`` is the edge weight.
+        labels:
+            Node labels; defaults to ``range(n)``.
+        tol:
+            Entries with absolute value ``<= tol`` are treated as absent edges.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"weight matrix must be square, got shape {matrix.shape}")
+        if not np.allclose(matrix, matrix.T, atol=1e-9):
+            raise ValueError("weight matrix must be symmetric")
+        n = matrix.shape[0]
+        if labels is None:
+            labels = list(range(n))
+        if len(labels) != n:
+            raise ValueError("labels length must match matrix size")
+        graph = cls()
+        for node in labels:
+            graph.add_node(node)
+        for i in range(n):
+            for j in range(i, n):
+                w = float(matrix[i, j])
+                if abs(w) > tol:
+                    graph.add_edge(labels[i], labels[j], w)
+        return graph
+
+    def copy(self) -> "WeightedGraph":
+        clone = WeightedGraph()
+        for node, nbrs in self._adj.items():
+            clone._adj[node] = dict(nbrs)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0, accumulate: bool = False) -> None:
+        """Add (or overwrite / accumulate) the undirected edge ``u -- v``."""
+        weight = float(weight)
+        if weight < 0:
+            raise ValueError(f"edge weights must be non-negative, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        if accumulate:
+            weight += self._adj[u].get(v, 0.0)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        try:
+            del self._adj[u][v]
+            if u != v:
+                del self._adj[v][u]
+        except KeyError as exc:
+            raise KeyError(f"edge {u!r} -- {v!r} not in graph") from exc
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> List[Node]:
+        return list(self._adj.keys())
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edge_weight(self, u: Node, v: Node, default: float = 0.0) -> float:
+        return self._adj.get(u, {}).get(v, default)
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """Return the ``{neighbour: weight}`` mapping (a copy) for ``node``."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        return dict(self._adj[node])
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = _edge_key(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (u, v, w)
+
+    def number_of_edges(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def degree_weight(self, node: Node) -> float:
+        """Weighted degree; self-loops count twice, as in modularity papers."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        total = 0.0
+        for v, w in self._adj[node].items():
+            total += w
+            if v == node:
+                total += w
+        return total
+
+    def total_weight(self) -> float:
+        """Sum of edge weights (each undirected edge counted once)."""
+        return sum(w for _, _, w in self.edges())
+
+    def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
+        """Induced subgraph on ``nodes`` (edges with both endpoints inside)."""
+        keep = set(nodes)
+        missing = keep - set(self._adj)
+        if missing:
+            raise KeyError(f"nodes not in graph: {sorted(map(repr, missing))}")
+        sub = WeightedGraph()
+        for node in keep:
+            sub.add_node(node)
+        for u, v, w in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def connected_components(self) -> List[List[Node]]:
+        """Connected components as lists of nodes (weights ignored)."""
+        seen = set()
+        components: List[List[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack = [start]
+            comp = []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                comp.append(node)
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        stack.append(nbr)
+            components.append(comp)
+        return components
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_weight_matrix(self, order: Optional[List[Node]] = None) -> Tuple[np.ndarray, List[Node]]:
+        """Return ``(matrix, labels)`` with ``matrix[i, j]`` the edge weight."""
+        labels = list(order) if order is not None else self.nodes()
+        index = {node: i for i, node in enumerate(labels)}
+        if len(index) != len(labels):
+            raise ValueError("duplicate labels in order")
+        matrix = np.zeros((len(labels), len(labels)), dtype=float)
+        for u, v, w in self.edges():
+            if u in index and v in index:
+                i, j = index[u], index[v]
+                matrix[i, j] = w
+                matrix[j, i] = w
+        return matrix, labels
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (weights on the ``weight`` key)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        for u, v, w in self.edges():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    def top_weight_fraction(self, fraction: float) -> "WeightedGraph":
+        """Keep only the top ``fraction`` of edges by weight (paper's Fig. 8 rendering)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        edges = sorted(self.edges(), key=lambda e: e[2], reverse=True)
+        keep = edges[: max(1, int(round(fraction * len(edges))))] if edges else []
+        out = WeightedGraph()
+        for node in self.nodes():
+            out.add_node(node)
+        for u, v, w in keep:
+            out.add_edge(u, v, w)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedGraph(nodes={len(self)}, edges={self.number_of_edges()})"

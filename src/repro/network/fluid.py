@@ -1,0 +1,237 @@
+"""Fluid (rate-based) transfer engine on top of the max-min allocator.
+
+Two usage styles are supported:
+
+* **event-driven** (:meth:`FluidNetwork.run_until_complete`) — rates are
+  recomputed whenever a transfer starts or finishes and the next completion is
+  scheduled exactly; this is the classic flow-level simulation used for
+  NetPIPE probes and the saturation-tomography baselines.
+* **time-stepped** (:meth:`FluidNetwork.advance`) — the caller advances the
+  clock in fixed steps and the engine credits ``rate × dt`` bytes to every
+  active transfer; the BitTorrent swarm uses this mode because its own control
+  loop (choking rounds, piece selection) already runs on a periodic schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.network.flows import FlowDemand, max_min_fair_allocation
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+
+
+@dataclass
+class FluidTransfer:
+    """A unidirectional bulk transfer between two hosts.
+
+    Attributes
+    ----------
+    transfer_id:
+        Unique integer id assigned by the network.
+    src, dst:
+        Host names.
+    size:
+        Total bytes to move.
+    transferred:
+        Bytes moved so far.
+    rate:
+        Current allocated rate (bytes/second); updated on every reallocation.
+    on_complete:
+        Optional callback invoked (with the transfer) when it finishes.
+    """
+
+    transfer_id: int
+    src: str
+    dst: str
+    size: float
+    links: Tuple[str, ...]
+    rate_cap: Optional[float] = None
+    transferred: float = 0.0
+    rate: float = 0.0
+    start_time: float = 0.0
+    finish_time: Optional[float] = None
+    on_complete: Optional[Callable[["FluidTransfer"], None]] = None
+
+    @property
+    def remaining(self) -> float:
+        return max(self.size - self.transferred, 0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 1e-9
+
+
+class FluidNetwork:
+    """Tracks active transfers over a topology and shares bandwidth max-min fairly."""
+
+    def __init__(self, topology: Topology, routing: Optional[RoutingTable] = None) -> None:
+        self.topology = topology
+        self.routing = routing or RoutingTable(topology)
+        self._capacity: Dict[str, float] = {
+            link.name: link.capacity for link in topology.links
+        }
+        self._active: Dict[int, FluidTransfer] = {}
+        self._ids = itertools.count(1)
+        self._dirty = True
+        self.now = 0.0
+        self.completed: List[FluidTransfer] = []
+
+    # ------------------------------------------------------------------ #
+    # transfer management
+    # ------------------------------------------------------------------ #
+    def start_transfer(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        rate_cap: Optional[float] = None,
+        on_complete: Optional[Callable[[FluidTransfer], None]] = None,
+    ) -> FluidTransfer:
+        """Begin moving ``size`` bytes from ``src`` to ``dst``."""
+        if size <= 0:
+            raise ValueError(f"transfer size must be positive, got {size}")
+        if not self.topology.is_host(src) or not self.topology.is_host(dst):
+            raise ValueError(f"transfers must run between hosts ({src!r} -> {dst!r})")
+        links = tuple(self.routing.route(src, dst))
+        transfer = FluidTransfer(
+            transfer_id=next(self._ids),
+            src=src,
+            dst=dst,
+            size=float(size),
+            links=links,
+            rate_cap=rate_cap,
+            start_time=self.now,
+            on_complete=on_complete,
+        )
+        self._active[transfer.transfer_id] = transfer
+        self._dirty = True
+        return transfer
+
+    def cancel_transfer(self, transfer: FluidTransfer) -> None:
+        """Abort a transfer without firing its completion callback."""
+        self._active.pop(transfer.transfer_id, None)
+        self._dirty = True
+
+    @property
+    def active_transfers(self) -> List[FluidTransfer]:
+        return list(self._active.values())
+
+    # ------------------------------------------------------------------ #
+    # rate allocation
+    # ------------------------------------------------------------------ #
+    def _reallocate(self) -> None:
+        demands = [
+            FlowDemand(flow_id=t.transfer_id, links=t.links, rate_cap=t.rate_cap)
+            for t in self._active.values()
+        ]
+        rates = max_min_fair_allocation(demands, self._capacity)
+        for transfer in self._active.values():
+            rate = rates.get(transfer.transfer_id, 0.0)
+            if not math.isfinite(rate):
+                # Loopback / uncapped transfer: complete at local-memory speed.
+                rate = 100e9
+            transfer.rate = rate
+        self._dirty = False
+
+    def rates(self) -> Dict[int, float]:
+        """Current allocation ``transfer_id -> bytes/second``."""
+        if self._dirty:
+            self._reallocate()
+        return {tid: t.rate for tid, t in self._active.items()}
+
+    # ------------------------------------------------------------------ #
+    # time-stepped mode
+    # ------------------------------------------------------------------ #
+    def advance(self, dt: float) -> List[FluidTransfer]:
+        """Advance the fluid state by ``dt`` seconds.
+
+        Bytes are credited at the rate allocated at the *start* of the step;
+        transfers that complete mid-step finish at the interpolated time and
+        the freed bandwidth is redistributed for the remainder of the step.
+
+        Returns the transfers completed during the step, in completion order.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        finished: List[FluidTransfer] = []
+        remaining_dt = float(dt)
+        guard = 0
+        while remaining_dt > 1e-12 and self._active:
+            guard += 1
+            if guard > 10 * (len(self._active) + len(finished) + 10):
+                raise RuntimeError("fluid advance failed to converge")
+            if self._dirty:
+                self._reallocate()
+            # Earliest completion within the remaining step, if any.
+            next_completion = remaining_dt
+            for transfer in self._active.values():
+                if transfer.rate > 1e-12:
+                    eta = transfer.remaining / transfer.rate
+                    next_completion = min(next_completion, eta)
+            step = max(min(next_completion, remaining_dt), 0.0)
+            if step <= 1e-15:
+                step = min(remaining_dt, 1e-9)
+            for transfer in self._active.values():
+                transfer.transferred = min(
+                    transfer.size, transfer.transferred + transfer.rate * step
+                )
+            self.now += step
+            remaining_dt -= step
+            newly_done = [t for t in self._active.values() if t.done]
+            for transfer in newly_done:
+                transfer.finish_time = self.now
+                del self._active[transfer.transfer_id]
+                self.completed.append(transfer)
+                finished.append(transfer)
+                self._dirty = True
+            if newly_done:
+                continue
+            if step >= remaining_dt - 1e-15:
+                break
+        if not self._active and remaining_dt > 0:
+            self.now += remaining_dt
+        for transfer in finished:
+            if transfer.on_complete is not None:
+                transfer.on_complete(transfer)
+        return finished
+
+    # ------------------------------------------------------------------ #
+    # event-driven mode
+    # ------------------------------------------------------------------ #
+    def run_until_complete(self, max_time: float = float("inf")) -> float:
+        """Run all active transfers to completion (or ``max_time``).
+
+        Returns the simulated time at which the last transfer finished.
+        """
+        guard = 0
+        while self._active and self.now < max_time - 1e-12:
+            guard += 1
+            if guard > 1_000_000:
+                raise RuntimeError("run_until_complete exceeded event budget")
+            if self._dirty:
+                self._reallocate()
+            etas = [
+                t.remaining / t.rate if t.rate > 1e-12 else float("inf")
+                for t in self._active.values()
+            ]
+            eta = min(etas)
+            if not math.isfinite(eta):
+                raise RuntimeError(
+                    "active transfers have zero allocated rate; topology is "
+                    "disconnected or capacities are malformed"
+                )
+            self.advance(min(eta, max_time - self.now))
+        return self.now
+
+    def transfer_time(self, src: str, dst: str, size: float) -> float:
+        """Time to move ``size`` bytes in isolation (no other active transfers)."""
+        if self._active:
+            raise RuntimeError("transfer_time requires an idle network")
+        start = self.now
+        self.start_transfer(src, dst, size)
+        self.run_until_complete()
+        return self.now - start

@@ -1,0 +1,90 @@
+"""Shortest-path routing over a :class:`~repro.network.topology.Topology`.
+
+Grid'5000-style networks are trees or near-trees of switches, so plain
+latency-weighted shortest paths (Dijkstra) reproduce the real forwarding
+behaviour.  Routes are computed once per source and cached; the fluid engine
+then only needs the per-flow list of link names.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import Link, Topology, TopologyError
+
+
+class RoutingTable:
+    """All-pairs host routes, computed lazily per source element."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._paths: Dict[str, Dict[str, List[str]]] = {}
+
+    def _dijkstra(self, source: str) -> Dict[str, List[str]]:
+        """Return, for every reachable element, the list of link names from ``source``."""
+        if not self.topology.has_element(source):
+            raise TopologyError(f"unknown routing source {source!r}")
+        dist: Dict[str, float] = {source: 0.0}
+        prev: Dict[str, Tuple[str, Link]] = {}
+        heap: List[Tuple[float, str]] = [(0.0, source)]
+        visited = set()
+        while heap:
+            d, element = heapq.heappop(heap)
+            if element in visited:
+                continue
+            visited.add(element)
+            for nbr, link in self.topology.neighbors(element):
+                # Hosts never forward transit traffic: a path may only pass
+                # through a host if that host is the source itself.
+                if self.topology.is_host(element) and element != source:
+                    continue
+                cost = d + max(link.latency, 1e-9)
+                if nbr not in dist or cost < dist[nbr] - 1e-15:
+                    dist[nbr] = cost
+                    prev[nbr] = (element, link)
+                    heapq.heappush(heap, (cost, nbr))
+        routes: Dict[str, List[str]] = {}
+        for target in dist:
+            if target == source:
+                routes[target] = []
+                continue
+            path: List[str] = []
+            element = target
+            while element != source:
+                parent, link = prev[element]
+                path.append(link.name)
+                element = parent
+            path.reverse()
+            routes[target] = path
+        return routes
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Return the list of link names traversed from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        if src not in self._paths:
+            self._paths[src] = self._dijkstra(src)
+        try:
+            return list(self._paths[src][dst])
+        except KeyError as exc:
+            raise TopologyError(f"no route from {src!r} to {dst!r}") from exc
+
+    def route_links(self, src: str, dst: str) -> List[Link]:
+        return [self.topology.link(name) for name in self.route(src, dst)]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        return sum(link.latency for link in self.route_links(src, dst))
+
+    def bottleneck_capacity(self, src: str, dst: str) -> float:
+        """Minimum link capacity on the route (the isolated achievable bandwidth)."""
+        links = self.route_links(src, dst)
+        if not links:
+            return float("inf")
+        return min(link.capacity for link in links)
+
+    def shared_links(self, pair_a: Tuple[str, str], pair_b: Tuple[str, str]) -> List[str]:
+        """Link names common to the routes of two host pairs (interference test)."""
+        route_a = set(self.route(*pair_a))
+        route_b = set(self.route(*pair_b))
+        return sorted(route_a & route_b)

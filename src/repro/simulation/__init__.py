@@ -1,0 +1,20 @@
+"""Discrete-event simulation core used by the network and BitTorrent substrates.
+
+The simulator is deliberately small: a monotonic clock, a binary-heap event
+queue and a handful of helpers for scheduling callbacks.  Everything that
+needs "time" in the reproduction (fluid network steps, BitTorrent choking
+rounds, NetPIPE probes, baseline tomography schedules) runs on top of
+:class:`repro.simulation.engine.Simulator`.
+"""
+
+from repro.simulation.engine import Event, EventQueue, Simulator, SimulationError
+from repro.simulation.rng import RandomStreams, derive_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "RandomStreams",
+    "derive_seed",
+]

@@ -1,0 +1,204 @@
+"""A minimal discrete-event simulation engine.
+
+The engine follows the classic event-list design: events are ``(time, order,
+callback)`` triples kept in a binary heap; :meth:`Simulator.run` pops them in
+time order and invokes the callbacks.  Callbacks may schedule further events.
+
+The engine is single-threaded and deterministic: ties on the timestamp are
+broken by insertion order, so a simulation driven by seeded random streams
+always replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used inconsistently.
+
+    Examples include scheduling an event in the past or running a simulator
+    that has already been stopped with a fatal error.
+    """
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the callback fires.
+    order:
+        Monotonic tie-breaker assigned by the queue; two events with equal
+        ``time`` fire in scheduling order.
+    callback:
+        Zero-argument callable invoked when the event fires.  Excluded from
+        ordering comparisons.
+    cancelled:
+        Lazily-cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Insert a callback at ``time`` and return the event handle."""
+        event = Event(time=time, order=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock in seconds.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the clock.  Defaults to ``0.0``.
+
+    Notes
+    -----
+    The simulator is re-usable: after :meth:`run` drains the queue, further
+    events may be scheduled and :meth:`run` called again; the clock keeps
+    advancing monotonically.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SimulationError("start_time must be finite")
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` lies in the simulated past or is not finite.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self._now}, requested={time})"
+            )
+        return self._queue.push(max(time, self._now), callback)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events scheduled strictly after it are left in
+            the queue and the clock is advanced to ``until``.
+        max_events:
+            Optional safety valve on the number of callbacks invoked.
+
+        Returns
+        -------
+        float
+            The simulation time when the run loop exits.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until + 1e-12:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = max(self._now, event.time)
+                event.callback()
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock without processing events (used by fluid stepping)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot move the clock backwards (now={self._now}, requested={time})"
+            )
+        self._now = max(self._now, time)

@@ -1,0 +1,127 @@
+"""Measurement campaigns: repeated synchronized BitTorrent broadcasts.
+
+A campaign runs ``n`` instrumented broadcasts on the same host set (optionally
+rotating the seeding root, which the paper suggests as a remedy for the
+asymmetry of broadcast traffic), collects the per-iteration
+:class:`FragmentMatrix` measurements, and exposes cumulative aggregates so
+that convergence with the number of iterations (Fig. 13) can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bittorrent.instrumentation import FragmentMatrix
+from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simulation.rng import RandomStreams
+from repro.tomography.metric import EdgeMetric, aggregate_mean
+
+
+@dataclass
+class MeasurementRecord:
+    """Everything collected during one measurement campaign.
+
+    Attributes
+    ----------
+    hosts:
+        Host order shared by all matrices.
+    results:
+        Per-iteration broadcast results (fragment matrices, durations, roots).
+    """
+
+    hosts: List[str]
+    results: List[BroadcastResult] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.results)
+
+    @property
+    def matrices(self) -> List[FragmentMatrix]:
+        return [r.fragments for r in self.results]
+
+    @property
+    def durations(self) -> List[float]:
+        return [r.duration for r in self.results]
+
+    def total_measurement_time(self) -> float:
+        """Simulated wall-clock cost of the whole campaign (sum of broadcasts)."""
+        return float(sum(self.durations))
+
+    def aggregate(self, iterations: Optional[int] = None) -> EdgeMetric:
+        """Metric aggregated over the first ``iterations`` runs (all by default)."""
+        if not self.results:
+            raise ValueError("campaign has no measurements yet")
+        count = self.iterations if iterations is None else iterations
+        if not 1 <= count <= self.iterations:
+            raise ValueError(
+                f"iterations must be in [1, {self.iterations}], got {count}"
+            )
+        return aggregate_mean(self.matrices[:count])
+
+    def cumulative_aggregates(self) -> List[EdgeMetric]:
+        """Aggregates after 1, 2, ..., n iterations (the Fig. 13 x-axis)."""
+        return [self.aggregate(i) for i in range(1, self.iterations + 1)]
+
+
+class MeasurementCampaign:
+    """Runs the measurement phase of the tomography method.
+
+    Parameters
+    ----------
+    topology:
+        Network substrate.
+    hosts:
+        Participating hosts (defaults to all hosts of the topology).
+    config:
+        Swarm configuration (torrent size, protocol knobs).
+    seed:
+        Base random seed; iteration ``i`` uses an independent derived stream,
+        so that single-run statistics (Fig. 5) are meaningful.
+    rotate_root:
+        When True, iteration ``i`` is seeded by host ``i mod len(hosts)``;
+        otherwise the first host always seeds (the paper's default setup).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        rotate_root: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.hosts = list(hosts) if hosts is not None else topology.host_names
+        self.streams = RandomStreams(seed)
+        self.rotate_root = rotate_root
+        self.routing = RoutingTable(topology)
+        self._broadcast = BitTorrentBroadcast(
+            topology, config, hosts=self.hosts, routing=self.routing
+        )
+
+    def run_iteration(self, iteration: int, root: Optional[str] = None) -> BroadcastResult:
+        """Run broadcast number ``iteration`` (zero-based) and return its result."""
+        if root is None:
+            root = (
+                self.hosts[iteration % len(self.hosts)]
+                if self.rotate_root
+                else self.hosts[0]
+            )
+        rng = self.streams.stream("broadcast", iteration)
+        return self._broadcast.run(root=root, rng=rng)
+
+    def run(self, iterations: int) -> MeasurementRecord:
+        """Run ``iterations`` synchronized broadcasts and collect the record."""
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        record = MeasurementRecord(hosts=list(self.hosts))
+        for i in range(iterations):
+            record.results.append(self.run_iteration(i))
+        return record

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        actions = {
+            a.dest: a for a in parser._subparsers._group_actions  # noqa: SLF001
+        }
+        choices = set(actions["command"].choices)
+        assert {
+            "list-datasets",
+            "run-dataset",
+            "fig4",
+            "fig5",
+            "fig13",
+            "efficiency",
+            "netpipe",
+        } <= choices
+
+    def test_run_dataset_requires_known_name(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run-dataset", "NOPE"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run-dataset", "G-T"])
+        assert args.per_site == 8
+        assert args.iterations == 8
+        assert args.fragments == 600
+        assert args.seed == 2012
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2x2", "B", "B-T", "G-T", "B-G-T", "B-G-T-L"):
+            assert name in out
+
+    def test_run_dataset_small(self, capsys):
+        code = main(
+            [
+                "run-dataset",
+                "G-T",
+                "--per-site", "4",
+                "--iterations", "3",
+                "--fragments", "200",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters found:" in out
+        assert "overlapping NMI" in out
+        assert "cluster 0" in out
+
+    def test_run_dataset_2x2(self, capsys):
+        code = main(["run-dataset", "2x2", "--iterations", "3", "--fragments", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters found: 1" in out
+
+    def test_netpipe(self, capsys):
+        assert main(["netpipe"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-cluster peak bandwidth" in out
+        assert "890" in out
+
+    def test_fig5_small(self, capsys):
+        code = main(
+            ["fig5", "--per-site", "4", "--iterations", "6", "--fragments", "150", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero-fragment runs" in out

@@ -1,0 +1,103 @@
+"""Tests for the topology-aware collective schedules."""
+
+import pytest
+
+from repro.applications.collectives import (
+    cluster_aware_allgather,
+    cluster_aware_broadcast,
+    flat_broadcast,
+    naive_allgather,
+)
+from repro.clustering.partition import Partition
+
+
+def dumbbell_partition(topology):
+    return Partition(
+        [
+            {h for h in topology.host_names if h.startswith("left")},
+            {h for h in topology.host_names if h.startswith("right")},
+        ]
+    )
+
+
+class TestBroadcast:
+    def test_cluster_aware_broadcast_beats_flat_across_bottleneck(self, dumbbell_topology):
+        partition = dumbbell_partition(dumbbell_topology)
+        hosts = dumbbell_topology.host_names
+        root = "left-0"
+        size = 20e6
+        flat = flat_broadcast(dumbbell_topology, hosts, root, size)
+        aware = cluster_aware_broadcast(dumbbell_topology, hosts, root, size, partition)
+        # The flat schedule pushes the message across the 10 Mb/s bottleneck
+        # once per remote host; the cluster-aware one only once.
+        assert aware.completion_time < flat.completion_time
+        assert flat.completion_time / aware.completion_time > 1.5
+        assert len(aware.phases) == 2
+        assert aware.total_bytes == pytest.approx(flat.total_bytes)
+
+    def test_results_record_operation_and_schedule(self, dumbbell_topology):
+        partition = dumbbell_partition(dumbbell_topology)
+        flat = flat_broadcast(dumbbell_topology, dumbbell_topology.host_names, "left-0", 1e6)
+        aware = cluster_aware_broadcast(
+            dumbbell_topology, dumbbell_topology.host_names, "left-0", 1e6, partition
+        )
+        assert flat.operation == aware.operation == "broadcast"
+        assert flat.schedule == "flat"
+        assert aware.schedule == "cluster-aware"
+
+    def test_single_cluster_aware_broadcast_degenerates_gracefully(self, dumbbell_topology):
+        whole = Partition.whole(dumbbell_topology.host_names)
+        aware = cluster_aware_broadcast(
+            dumbbell_topology, dumbbell_topology.host_names, "left-0", 1e6, whole
+        )
+        # Phase 1 is empty (no other cluster), phase 2 does all the work.
+        assert aware.phases[0] == 0.0
+        assert aware.completion_time > 0
+
+    def test_validation_errors(self, dumbbell_topology):
+        hosts = dumbbell_topology.host_names
+        partition = dumbbell_partition(dumbbell_topology)
+        with pytest.raises(ValueError):
+            flat_broadcast(dumbbell_topology, hosts, "ghost", 1e6)
+        with pytest.raises(ValueError):
+            flat_broadcast(dumbbell_topology, hosts, "left-0", 0.0)
+        with pytest.raises(ValueError):
+            flat_broadcast(dumbbell_topology, ["left-0"], "left-0", 1e6)
+        with pytest.raises(ValueError):
+            cluster_aware_broadcast(
+                dumbbell_topology, hosts + [], "left-0", 1e6,
+                Partition([{h for h in hosts if h.startswith("left")}]),
+            )
+
+
+class TestAllgather:
+    def test_cluster_aware_allgather_reduces_bottleneck_traffic(self, dumbbell_topology):
+        partition = dumbbell_partition(dumbbell_topology)
+        hosts = dumbbell_topology.host_names
+        size = 5e6
+        naive = naive_allgather(dumbbell_topology, hosts, size)
+        aware = cluster_aware_allgather(dumbbell_topology, hosts, size, partition)
+        assert aware.completion_time < naive.completion_time
+        assert len(aware.phases) == 3
+
+    def test_every_phase_contributes_bytes(self, dumbbell_topology):
+        partition = dumbbell_partition(dumbbell_topology)
+        aware = cluster_aware_allgather(
+            dumbbell_topology, dumbbell_topology.host_names, 1e6, partition
+        )
+        assert all(phase >= 0 for phase in aware.phases)
+        assert aware.total_bytes > 0
+
+    def test_naive_allgather_total_bytes(self, dumbbell_topology):
+        hosts = dumbbell_topology.host_names
+        size = 1e6
+        naive = naive_allgather(dumbbell_topology, hosts, size)
+        n = len(hosts)
+        assert naive.total_bytes == pytest.approx(n * (n - 1) * size)
+
+    def test_partition_must_cover_hosts(self, dumbbell_topology):
+        partial = Partition([{"left-0", "left-1"}])
+        with pytest.raises(ValueError):
+            cluster_aware_allgather(
+                dumbbell_topology, dumbbell_topology.host_names, 1e6, partial
+            )

@@ -1,0 +1,85 @@
+"""Tests for the NMI-vs-iterations convergence analysis (Fig. 13 machinery)."""
+
+import pytest
+
+from repro.analysis.convergence import ConvergenceStudy, nmi_convergence
+from repro.clustering.louvain import louvain
+from repro.clustering.partition import Partition
+from repro.tomography.measurement import MeasurementCampaign
+from repro.tomography.pipeline import default_swarm_config
+
+
+def clusterer(graph):
+    return louvain(graph).partition
+
+
+class TestConvergenceStudy:
+    def test_iterations_to_reach_and_converge(self):
+        study = ConvergenceStudy("demo", [0.3, 0.8, 1.0, 0.9, 1.0, 1.0])
+        assert study.iterations == 6
+        assert study.final_nmi == pytest.approx(1.0)
+        assert study.iterations_to_reach(0.8) == 2
+        assert study.iterations_to_reach(1.0) == 3
+        # "Converge" means stays at/above the target from that point on.
+        assert study.iterations_to_converge(0.999) == 5
+        assert study.iterations_to_converge(0.85) == 3
+
+    def test_target_never_reached(self):
+        study = ConvergenceStudy("demo", [0.1, 0.2])
+        assert study.iterations_to_reach(0.9) is None
+        assert study.iterations_to_converge(0.9) is None
+
+    def test_empty_curve_final_nmi_raises(self):
+        with pytest.raises(ValueError):
+            ConvergenceStudy("demo", []).final_nmi
+
+    def test_monotonicity_check(self):
+        assert ConvergenceStudy("x", [0.2, 0.5, 0.9, 1.0]).is_monotone_after()
+        assert not ConvergenceStudy("x", [0.9, 0.2, 1.0]).is_monotone_after()
+
+    def test_from_record_runs_end_to_end(self, dumbbell_topology):
+        truth = Partition(
+            [
+                {h for h in dumbbell_topology.host_names if h.startswith("left")},
+                {h for h in dumbbell_topology.host_names if h.startswith("right")},
+            ]
+        )
+        campaign = MeasurementCampaign(
+            dumbbell_topology, default_swarm_config(300), seed=4
+        )
+        record = campaign.run(4)
+        study = ConvergenceStudy.from_record("dumbbell", record, truth, clusterer)
+        assert study.iterations == 4
+        assert study.final_nmi == pytest.approx(1.0)
+        assert study.iterations_to_reach(0.99) is not None
+
+
+class TestNmiConvergence:
+    def test_curve_length_matches_iterations(self, dumbbell_topology):
+        truth = Partition(
+            [
+                {h for h in dumbbell_topology.host_names if h.startswith("left")},
+                {h for h in dumbbell_topology.host_names if h.startswith("right")},
+            ]
+        )
+        campaign = MeasurementCampaign(
+            dumbbell_topology, default_swarm_config(200), seed=5
+        )
+        record = campaign.run(3)
+        curve = nmi_convergence(record, truth, clusterer)
+        assert len(curve) == 3
+        assert all(0.0 <= value <= 1.0 for value in curve)
+
+    def test_ground_truth_superset_is_restricted(self, dumbbell_topology):
+        clusters = [
+            {h for h in dumbbell_topology.host_names if h.startswith("left")},
+            {h for h in dumbbell_topology.host_names if h.startswith("right")},
+            {"unrelated-host"},
+        ]
+        truth = Partition(clusters)
+        campaign = MeasurementCampaign(
+            dumbbell_topology, default_swarm_config(200), seed=6
+        )
+        record = campaign.run(2)
+        curve = nmi_convergence(record, truth, clusterer)
+        assert len(curve) == 2

@@ -1,0 +1,143 @@
+"""Tests for the named experiment datasets."""
+
+import pytest
+
+from repro.experiments.datasets import (
+    DATASETS,
+    dataset,
+    dataset_2x2,
+    dataset_b,
+    dataset_bgt,
+    dataset_bgtl,
+    dataset_bt,
+    dataset_gt,
+    dataset_nested,
+    nested_coarse_ground_truth,
+    scaled_builder,
+)
+from repro.network.grid5000 import (
+    BORDEAUX_BOTTLENECK_CAPACITY,
+    RENATER_CAPACITY,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(DATASETS) == {"2x2", "B", "B-T", "G-T", "B-G-T", "B-G-T-L"}
+
+    def test_lookup_by_name(self):
+        ds = dataset("G-T", per_site=4)
+        assert ds.name == "G-T"
+        assert ds.num_hosts == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            dataset("X-Y-Z")
+
+
+class TestDatasetShapes:
+    def test_2x2(self):
+        ds = dataset_2x2()
+        assert ds.num_hosts == 4
+        assert ds.ground_truth.num_clusters == 1
+        assert ds.expectation.expected_clusters == 1
+
+    def test_b_default_is_the_paper_64_node_setup(self):
+        ds = dataset_b()
+        assert ds.num_hosts == 64
+        assert ds.ground_truth.num_clusters == 2
+        sizes = sorted(ds.ground_truth.sizes())
+        assert sizes == [32, 32]  # Bordeplage vs Bordereau+Borderline
+
+    def test_b_scaled(self):
+        ds = dataset_b(bordeplage=8, bordereau=6, borderline=2)
+        assert ds.num_hosts == 16
+        assert ds.ground_truth.num_clusters == 2
+
+    def test_bt_has_three_way_ground_truth(self):
+        ds = dataset_bt(per_site=8)
+        assert ds.num_hosts == 16
+        assert ds.ground_truth.num_clusters == 3
+        assert ds.expectation.expected_clusters == 2  # what the method finds
+
+    def test_gt_two_flat_sites(self):
+        ds = dataset_gt(per_site=6)
+        assert ds.num_hosts == 12
+        assert ds.ground_truth.num_clusters == 2
+        sites = {ds.site_of[h] for h in ds.hosts}
+        assert sites == {"grenoble", "toulouse"}
+
+    def test_bgt_three_sites(self):
+        ds = dataset_bgt(per_site=4)
+        assert ds.ground_truth.num_clusters == 3
+        assert {ds.site_of[h] for h in ds.hosts} == {"bordeaux", "grenoble", "toulouse"}
+
+    def test_bgtl_four_sites(self):
+        ds = dataset_bgtl(per_site=4)
+        assert ds.ground_truth.num_clusters == 4
+        assert ds.expectation.paper_iterations_to_converge == 15
+
+    def test_bgt_uses_only_well_connected_bordeaux_clusters(self):
+        ds = dataset_bgt(per_site=8)
+        bordeaux_clusters = {
+            ds.topology.host(h).cluster for h in ds.hosts if ds.site_of[h] == "bordeaux"
+        }
+        assert "bordeplage" not in bordeaux_clusters
+
+    def test_ground_truth_covers_every_host(self):
+        for name in DATASETS:
+            ds = dataset(name) if name in ("2x2",) else dataset(name, per_site=4) if name != "B" else dataset_b(4, 3, 1)
+            assert set(ds.hosts) <= ds.ground_truth.nodes() | set(ds.hosts)
+            assert ds.ground_truth.nodes() == set(ds.hosts)
+
+    def test_local_cluster_of(self):
+        ds = dataset_gt(per_site=4)
+        host = ds.hosts[0]
+        local = ds.local_cluster_of(host)
+        assert host not in local
+        assert all(ds.ground_truth.same_cluster(host, other) for other in local)
+
+
+class TestNestedDataset:
+    def test_shape_and_ground_truths(self):
+        from repro.experiments.datasets import dataset_nested, nested_coarse_ground_truth
+
+        ds = dataset_nested(alpha=4, beta=4, gamma=6)
+        assert ds.num_hosts == 14
+        assert ds.ground_truth.num_clusters == 3
+        coarse = nested_coarse_ground_truth(ds)
+        assert coarse.num_clusters == 2
+        assert sorted(coarse.sizes()) == [6, 8]
+        # Not part of the paper's Fig. 13 registry.
+        assert "NESTED" not in DATASETS
+
+    def test_validation(self):
+        from repro.experiments.datasets import dataset_nested, nested_coarse_ground_truth
+
+        with pytest.raises(ValueError):
+            dataset_nested(alpha=1)
+        with pytest.raises(ValueError):
+            nested_coarse_ground_truth(dataset_gt(per_site=4))
+
+
+class TestScaledBuilder:
+    def test_full_scale_keeps_physical_capacities(self):
+        builder = scaled_builder(32)
+        assert builder.renater_capacity == pytest.approx(RENATER_CAPACITY)
+        assert builder.bottleneck_capacity == pytest.approx(BORDEAUX_BOTTLENECK_CAPACITY)
+
+    def test_reduced_scale_shrinks_shared_links_proportionally(self):
+        builder = scaled_builder(8)
+        assert builder.renater_capacity == pytest.approx(RENATER_CAPACITY / 4)
+        assert builder.bottleneck_capacity == pytest.approx(
+            BORDEAUX_BOTTLENECK_CAPACITY / 4
+        )
+        assert builder.node_capacity == scaled_builder(32).node_capacity
+
+    def test_oversized_request_never_scales_up(self):
+        builder = scaled_builder(64)
+        assert builder.renater_capacity == pytest.approx(RENATER_CAPACITY)
+
+    def test_invalid_per_site(self):
+        with pytest.raises(ValueError):
+            scaled_builder(0)

@@ -1,0 +1,67 @@
+"""Unit tests for the two-level map-equation (Infomap) clusterer."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.infomap import infomap, map_equation
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+
+
+class TestMapEquation:
+    def test_one_module_has_no_index_codebook_cost(self, two_community_graph):
+        whole = Partition.whole(two_community_graph.nodes())
+        singles = Partition.singletons(two_community_graph.nodes())
+        l_whole = map_equation(two_community_graph, whole)
+        l_singles = map_equation(two_community_graph, singles)
+        assert l_whole > 0
+        # All-singletons wastes bits on the index codebook for this graph.
+        assert l_singles > l_whole
+
+    def test_good_partition_has_lower_description_length(self, two_community_graph):
+        good = Partition([{f"l{i}" for i in range(4)}, {f"r{i}" for i in range(4)}])
+        bad = Partition([
+            {"l0", "l1", "r0", "r1"},
+            {"l2", "l3", "r2", "r3"},
+        ])
+        assert map_equation(two_community_graph, good) < map_equation(
+            two_community_graph, bad
+        )
+
+    def test_zero_weight_graph_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(ValueError):
+            map_equation(graph, Partition.whole(["a", "b"]))
+
+
+class TestInfomap:
+    def test_recovers_two_cliques(self, two_community_graph):
+        partition = infomap(two_community_graph)
+        expected = Partition([{f"l{i}" for i in range(4)}, {f"r{i}" for i in range(4)}])
+        assert partition == expected
+
+    def test_result_covers_all_nodes(self, two_community_graph):
+        partition = infomap(two_community_graph)
+        assert partition.nodes() == set(two_community_graph.nodes())
+
+    def test_deterministic_without_rng(self, two_community_graph):
+        assert infomap(two_community_graph) == infomap(two_community_graph)
+
+    def test_randomised_sweep_order(self, two_community_graph):
+        partition = infomap(two_community_graph, rng=np.random.default_rng(5))
+        assert partition.num_clusters == 2
+
+    def test_result_never_increases_description_length(self, two_community_graph):
+        found = infomap(two_community_graph)
+        singles = Partition.singletons(two_community_graph.nodes())
+        assert map_equation(two_community_graph, found) <= map_equation(
+            two_community_graph, singles
+        ) + 1e-9
+
+    def test_zero_weight_graph_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            infomap(graph)

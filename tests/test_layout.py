@@ -1,0 +1,102 @@
+"""Tests for the force-directed layout implementations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.layout import (
+    fruchterman_reingold_layout,
+    kamada_kawai_layout,
+    layout_cluster_separation,
+)
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+
+
+def two_cluster_graph():
+    graph = WeightedGraph()
+    a = [f"a{i}" for i in range(5)]
+    b = [f"b{i}" for i in range(5)]
+    for group in (a, b):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                graph.add_edge(group[i], group[j], 20.0)
+    graph.add_edge("a0", "b0", 1.0)
+    return graph, Partition([set(a), set(b)])
+
+
+class TestKamadaKawai:
+    def test_positions_for_all_nodes(self):
+        graph, _ = two_cluster_graph()
+        positions = kamada_kawai_layout(graph)
+        assert set(positions) == set(graph.nodes())
+        for x, y in positions.values():
+            assert np.isfinite(x) and np.isfinite(y)
+
+    def test_heavy_edges_are_shorter(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 100.0)
+        graph.add_edge("b", "c", 1.0)
+        positions = kamada_kawai_layout(graph, seed=1)
+        dist_ab = np.hypot(
+            positions["a"][0] - positions["b"][0], positions["a"][1] - positions["b"][1]
+        )
+        dist_bc = np.hypot(
+            positions["b"][0] - positions["c"][0], positions["b"][1] - positions["c"][1]
+        )
+        assert dist_ab < dist_bc
+
+    def test_clusters_are_visually_separated(self):
+        """The paper's qualitative claim (§III-C): layout separates ground truth."""
+        graph, truth = two_cluster_graph()
+        positions = kamada_kawai_layout(graph, seed=0)
+        separation = layout_cluster_separation(positions, truth)
+        assert separation > 1.5
+
+    def test_small_graphs(self):
+        empty = WeightedGraph()
+        assert kamada_kawai_layout(empty) == {}
+        single = WeightedGraph()
+        single.add_node("only")
+        assert kamada_kawai_layout(single) == {"only": (0.0, 0.0)}
+
+    def test_deterministic_for_fixed_seed(self):
+        graph, _ = two_cluster_graph()
+        a = kamada_kawai_layout(graph, seed=3)
+        b = kamada_kawai_layout(graph, seed=3)
+        for node in graph.nodes():
+            assert a[node] == pytest.approx(b[node])
+
+    def test_disconnected_graph_does_not_crash(self):
+        graph = WeightedGraph.from_edges([("a", "b", 1.0), ("c", "d", 1.0)])
+        positions = kamada_kawai_layout(graph)
+        assert len(positions) == 4
+
+
+class TestFruchtermanReingold:
+    def test_positions_for_all_nodes(self):
+        graph, _ = two_cluster_graph()
+        positions = fruchterman_reingold_layout(graph, seed=2)
+        assert set(positions) == set(graph.nodes())
+
+    def test_clusters_separated(self):
+        graph, truth = two_cluster_graph()
+        positions = fruchterman_reingold_layout(graph, seed=2, iterations=300)
+        assert layout_cluster_separation(positions, truth) > 1.2
+
+    def test_empty_graph(self):
+        assert fruchterman_reingold_layout(WeightedGraph()) == {}
+
+
+class TestSeparationScore:
+    def test_requires_positioned_nodes(self):
+        with pytest.raises(ValueError):
+            layout_cluster_separation({}, Partition([{"a"}]))
+
+    def test_single_cluster_gives_zero(self):
+        positions = {"a": (0.0, 0.0), "b": (1.0, 0.0)}
+        assert layout_cluster_separation(positions, Partition([{"a", "b"}])) == 0.0
+
+    def test_perfectly_separated_points(self):
+        positions = {"a": (0.0, 0.0), "b": (0.1, 0.0), "c": (10.0, 0.0), "d": (10.1, 0.0)}
+        truth = Partition([{"a", "b"}, {"c", "d"}])
+        assert layout_cluster_separation(positions, truth) > 10

@@ -1,0 +1,128 @@
+"""Unit and property tests for the Louvain method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.louvain import louvain
+from repro.clustering.modularity import modularity
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+
+
+def clique_graph(groups, intra=10.0, inter=1.0, bridge_pairs=()):
+    """Disjoint cliques with optional weak bridges between consecutive groups."""
+    graph = WeightedGraph()
+    for group in groups:
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                graph.add_edge(group[i], group[j], intra)
+    for (a, b) in bridge_pairs:
+        graph.add_edge(a, b, inter)
+    return graph
+
+
+class TestLouvain:
+    def test_recovers_two_cliques(self, two_community_graph):
+        result = louvain(two_community_graph)
+        expected = Partition([{f"l{i}" for i in range(4)}, {f"r{i}" for i in range(4)}])
+        assert result.partition == expected
+        assert result.modularity == pytest.approx(
+            modularity(two_community_graph, expected), abs=1e-9
+        )
+
+    def test_recovers_four_cliques(self):
+        groups = [[f"g{k}n{i}" for i in range(5)] for k in range(4)]
+        bridges = [(groups[k][0], groups[(k + 1) % 4][0]) for k in range(4)]
+        graph = clique_graph(groups, bridge_pairs=bridges)
+        result = louvain(graph)
+        assert result.partition.num_clusters == 4
+        for group in groups:
+            assert result.partition.same_cluster(group[0], group[-1])
+
+    def test_weight_sensitivity(self):
+        """With a dominating bridge weight the two 'cliques' merge."""
+        groups = [["a1", "a2"], ["b1", "b2"]]
+        weak = clique_graph(groups, intra=10.0, bridge_pairs=[("a1", "b1")])
+        strong = clique_graph(groups, intra=1.0, inter=50.0, bridge_pairs=[("a1", "b1")])
+        assert louvain(weak).partition.num_clusters == 2
+        assert louvain(strong).partition.num_clusters < 4
+
+    def test_empty_weight_graph_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(ValueError):
+            louvain(graph)
+
+    def test_dendrogram_levels_do_not_decrease_modularity(self, two_community_graph):
+        result = louvain(two_community_graph)
+        scores = [modularity(two_community_graph, level) for level in result.dendrogram]
+        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+        assert result.levels == len(result.dendrogram) >= 1
+
+    def test_partition_covers_all_nodes(self, two_community_graph):
+        result = louvain(two_community_graph)
+        assert result.partition.nodes() == set(two_community_graph.nodes())
+
+    def test_deterministic_without_rng(self, two_community_graph):
+        a = louvain(two_community_graph)
+        b = louvain(two_community_graph)
+        assert a.partition == b.partition
+
+    def test_randomised_order_still_finds_structure(self, two_community_graph):
+        result = louvain(two_community_graph, rng=np.random.default_rng(3))
+        assert result.partition.num_clusters == 2
+
+    def test_isolated_nodes_handled(self):
+        graph = WeightedGraph.from_edges([("a", "b", 5.0)], nodes=["a", "b", "lonely"])
+        result = louvain(graph)
+        assert "lonely" in result.partition.nodes()
+
+    def test_star_graph_single_community(self):
+        graph = WeightedGraph.from_edges(
+            [("hub", f"leaf{i}", 1.0) for i in range(5)]
+        )
+        result = louvain(graph)
+        # A star has no meaningful sub-communities: everything ends up together
+        # or in a couple of clusters, but never as all-singletons.
+        assert result.partition.num_clusters < 6
+        assert result.modularity >= 0.0 - 1e-9
+
+
+# --------------------------------------------------------------------- #
+# property-based tests
+# --------------------------------------------------------------------- #
+@st.composite
+def random_weighted_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    nodes = list(range(n))
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.integers(min_value=0, max_value=2)) == 0:
+                edges.append((i, j, draw(st.floats(min_value=0.1, max_value=20.0))))
+    if not edges:
+        edges.append((0, 1, 1.0))
+    return WeightedGraph.from_edges(edges, nodes=nodes)
+
+
+@given(random_weighted_graph())
+@settings(max_examples=40, deadline=None)
+def test_louvain_never_worse_than_singletons_or_whole(graph):
+    result = louvain(graph)
+    singles = modularity(graph, Partition.singletons(graph.nodes()))
+    whole = modularity(graph, Partition.whole(graph.nodes()))
+    assert result.modularity >= singles - 1e-9
+    assert result.modularity >= whole - 1e-9
+
+
+@given(random_weighted_graph())
+@settings(max_examples=40, deadline=None)
+def test_louvain_partition_is_valid(graph):
+    result = louvain(graph)
+    assert result.partition.nodes() == set(graph.nodes())
+    assert sum(result.partition.sizes()) == len(graph)
+    assert result.modularity == pytest.approx(
+        modularity(graph, result.partition), abs=1e-9
+    )

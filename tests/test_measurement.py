@@ -1,0 +1,102 @@
+"""Unit tests for measurement campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.tomography.measurement import MeasurementCampaign, MeasurementRecord
+from repro.tomography.pipeline import default_swarm_config
+
+
+class TestMeasurementCampaign:
+    def test_runs_requested_iterations(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=1)
+        record = campaign.run(3)
+        assert record.iterations == 3
+        assert len(record.matrices) == 3
+        assert len(record.durations) == 3
+        assert record.total_measurement_time() == pytest.approx(sum(record.durations))
+
+    def test_invalid_iteration_count(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=1)
+        with pytest.raises(ValueError):
+            campaign.run(0)
+
+    def test_iterations_are_statistically_independent(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=1)
+        record = campaign.run(2)
+        assert not np.array_equal(record.matrices[0].counts, record.matrices[1].counts)
+
+    def test_campaign_is_reproducible_from_seed(self, dumbbell_topology, tiny_swarm_config):
+        a = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=5).run(2)
+        b = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=5).run(2)
+        for ma, mb in zip(a.matrices, b.matrices):
+            assert np.array_equal(ma.counts, mb.counts)
+
+    def test_different_seeds_differ(self, dumbbell_topology, tiny_swarm_config):
+        a = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=5).run(1)
+        b = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=6).run(1)
+        assert not np.array_equal(a.matrices[0].counts, b.matrices[0].counts)
+
+    def test_fixed_root_by_default(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=2)
+        record = campaign.run(2)
+        roots = {r.root for r in record.results}
+        assert roots == {campaign.hosts[0]}
+
+    def test_rotating_root(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(
+            dumbbell_topology, tiny_swarm_config, seed=2, rotate_root=True
+        )
+        record = campaign.run(3)
+        roots = [r.root for r in record.results]
+        assert roots == campaign.hosts[:3]
+
+    def test_host_subset(self, dumbbell_topology, tiny_swarm_config):
+        hosts = ["left-0", "left-1", "right-0", "right-1"]
+        campaign = MeasurementCampaign(
+            dumbbell_topology, tiny_swarm_config, hosts=hosts, seed=3
+        )
+        record = campaign.run(1)
+        assert record.hosts == hosts
+        assert record.matrices[0].labels == hosts
+
+
+class TestMeasurementRecord:
+    def test_aggregate_prefixes(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=4)
+        record = campaign.run(3)
+        metric_all = record.aggregate()
+        metric_two = record.aggregate(2)
+        assert metric_all.iterations == 3
+        assert metric_two.iterations == 2
+        with pytest.raises(ValueError):
+            record.aggregate(0)
+        with pytest.raises(ValueError):
+            record.aggregate(4)
+
+    def test_cumulative_aggregates_lengths(self, dumbbell_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=4)
+        record = campaign.run(3)
+        cumulative = record.cumulative_aggregates()
+        assert [m.iterations for m in cumulative] == [1, 2, 3]
+
+    def test_empty_record_rejects_aggregation(self):
+        record = MeasurementRecord(hosts=["a", "b"])
+        with pytest.raises(ValueError):
+            record.aggregate()
+
+    def test_aggregation_reduces_variance(self, dumbbell_topology, small_swarm_config):
+        """More iterations → the aggregated metric stabilises (Section II-D)."""
+        campaign = MeasurementCampaign(dumbbell_topology, small_swarm_config, seed=9)
+        record = campaign.run(10)
+        # Distance between consecutive cumulative aggregates shrinks on average
+        # (individual steps are noisy because each broadcast is random).
+        diffs = []
+        cumulative = record.cumulative_aggregates()
+        for a, b in zip(cumulative, cumulative[1:]):
+            diffs.append(np.abs(a.weights - b.weights).sum())
+        assert np.mean(diffs[-3:]) < np.mean(diffs[:3])
+        # And the step size is bounded by total-weight / iteration-count.
+        total = record.aggregate(1).weights.sum()
+        for k, diff in enumerate(diffs, start=2):
+            assert diff <= 2.0 * total / k + 1e-6

@@ -1,0 +1,70 @@
+"""Tests for NetPIPE-style point-to-point probes."""
+
+import numpy as np
+import pytest
+
+from repro.network.grid5000 import build_multi_site, default_cluster_of
+from repro.tomography.netpipe import NetPipeProbe
+
+
+class TestNetPipeProbe:
+    def test_intra_cluster_peak_near_890_mbps(self, two_site_topology):
+        probe = NetPipeProbe(two_site_topology)
+        grenoble = [h for h in two_site_topology.host_names if h.startswith("grenoble")]
+        result = probe.probe(grenoble[0], grenoble[1])
+        assert result.peak_megabits == pytest.approx(890.0, rel=0.05)
+
+    def test_inter_site_peak_below_intra_cluster(self, two_site_topology):
+        probe = NetPipeProbe(two_site_topology)
+        hosts = two_site_topology.host_names
+        grenoble = [h for h in hosts if h.startswith("grenoble")]
+        toulouse = [h for h in hosts if h.startswith("toulouse")]
+        intra = probe.probe(grenoble[0], grenoble[1])
+        inter = probe.probe(grenoble[0], toulouse[0])
+        assert inter.peak_megabits < intra.peak_megabits
+        assert inter.peak_megabits > 0.5 * intra.peak_megabits
+
+    def test_bandwidth_increases_with_message_size(self, two_site_topology):
+        probe = NetPipeProbe(two_site_topology)
+        grenoble = [h for h in two_site_topology.host_names if h.startswith("grenoble")]
+        result = probe.probe(grenoble[0], grenoble[1])
+        assert list(result.bandwidths) == sorted(result.bandwidths)
+
+    def test_repeated_probes_have_negligible_variance(self, two_site_topology):
+        """The contrast with the BitTorrent metric (Fig. 5): NetPIPE is stable."""
+        probe = NetPipeProbe(two_site_topology)
+        grenoble = [h for h in two_site_topology.host_names if h.startswith("grenoble")]
+        values = probe.repeated_peak(grenoble[0], grenoble[1], repeats=5)
+        assert np.std(values) / np.mean(values) < 1e-9
+
+    def test_same_host_rejected(self, two_site_topology):
+        probe = NetPipeProbe(two_site_topology)
+        host = two_site_topology.host_names[0]
+        with pytest.raises(ValueError):
+            probe.probe(host, host)
+
+    def test_invalid_message_sizes_rejected(self, two_site_topology):
+        probe = NetPipeProbe(two_site_topology)
+        hosts = two_site_topology.host_names
+        with pytest.raises(ValueError):
+            probe.probe(hosts[0], hosts[1], message_sizes=[])
+        with pytest.raises(ValueError):
+            probe.probe(hosts[0], hosts[1], message_sizes=[0])
+        with pytest.raises(ValueError):
+            probe.repeated_peak(hosts[0], hosts[1], repeats=0)
+
+    def test_disabling_tcp_window_removes_wan_penalty(self):
+        topo = build_multi_site(
+            {
+                "bordeaux": {"bordereau": 1},
+                "toulouse": {default_cluster_of("toulouse"): 1},
+            }
+        )
+        hosts = topo.host_names
+        bordeaux = [h for h in hosts if h.startswith("bordeaux")][0]
+        toulouse = [h for h in hosts if h.startswith("toulouse")][0]
+        capped = NetPipeProbe(topo).probe(bordeaux, toulouse, message_sizes=[64 * 1024 * 1024])
+        uncapped = NetPipeProbe(topo, tcp_window=None).probe(
+            bordeaux, toulouse, message_sizes=[64 * 1024 * 1024]
+        )
+        assert uncapped.peak_bandwidth > capped.peak_bandwidth

@@ -1,0 +1,120 @@
+"""Unit and property tests for the NMI measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.nmi import normalized_mutual_information, overlapping_nmi
+from repro.clustering.partition import Partition
+
+
+def p(*clusters):
+    return Partition(clusters)
+
+
+class TestClassicalNMI:
+    def test_identical_partitions_score_one(self):
+        a = p({"a", "b"}, {"c", "d"})
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_completely_different_partitions_score_low(self):
+        truth = p({"a", "b"}, {"c", "d"})
+        found = p({"a", "c"}, {"b", "d"})
+        assert normalized_mutual_information(found, truth) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_cluster_vs_structure_scores_zero(self):
+        truth = p({"a", "b"}, {"c", "d"})
+        found = p({"a", "b", "c", "d"})
+        assert normalized_mutual_information(found, truth) == pytest.approx(0.0)
+
+    def test_both_trivial_scores_one(self):
+        a = p({"a", "b", "c"})
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_refinement_scores_between_zero_and_one(self):
+        truth = p({"a", "b", "c", "d"}, {"e", "f", "g", "h"})
+        found = p({"a", "b"}, {"c", "d"}, {"e", "f"}, {"g", "h"})
+        value = normalized_mutual_information(found, truth)
+        assert 0.0 < value < 1.0
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(p({"a", "b"}), p({"a", "c"}))
+
+    def test_symmetry(self):
+        truth = p({"a", "b", "c"}, {"d", "e"})
+        found = p({"a", "b"}, {"c", "d", "e"})
+        assert normalized_mutual_information(found, truth) == pytest.approx(
+            normalized_mutual_information(truth, found)
+        )
+
+
+class TestOverlappingNMI:
+    def test_identical_partitions_score_one(self):
+        a = p({"a", "b"}, {"c", "d"}, {"e"})
+        assert overlapping_nmi(a, a) == pytest.approx(1.0)
+
+    def test_disagreement_scores_below_one(self):
+        truth = p({"a", "b"}, {"c", "d"})
+        found = p({"a", "c"}, {"b", "d"})
+        assert overlapping_nmi(found, truth) < 0.2
+
+    def test_bounded_between_zero_and_one(self):
+        truth = p({"a", "b", "c"}, {"d", "e", "f"})
+        found = p({"a", "b"}, {"c", "d"}, {"e", "f"})
+        value = overlapping_nmi(found, truth)
+        assert 0.0 <= value <= 1.0
+
+    def test_symmetry(self):
+        truth = p({"a", "b", "c", "d"}, {"e", "f"})
+        found = p({"a", "b"}, {"c", "d"}, {"e", "f"})
+        assert overlapping_nmi(found, truth) == pytest.approx(
+            overlapping_nmi(truth, found)
+        )
+
+    def test_two_site_merge_scores_intermediate(self):
+        """The BT scenario: 3-way ground truth recovered as the 2-way site split."""
+        truth = p(
+            {f"bp{i}" for i in range(8)},       # Bordeplage
+            {f"br{i}" for i in range(8)},       # Bordereau/Borderline
+            {f"t{i}" for i in range(16)},       # Toulouse
+        )
+        found = p(
+            {f"bp{i}" for i in range(8)} | {f"br{i}" for i in range(8)},
+            {f"t{i}" for i in range(16)},
+        )
+        value = overlapping_nmi(found, truth)
+        assert 0.4 < value < 0.95
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(ValueError):
+            overlapping_nmi(p({"a"}, {"b"}), p({"a", "b", "c"}))
+
+
+# --------------------------------------------------------------------- #
+# property-based consistency between the two measures
+# --------------------------------------------------------------------- #
+@st.composite
+def two_partitions(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    nodes = [f"n{i}" for i in range(n)]
+    a = {node: draw(st.integers(min_value=0, max_value=3)) for node in nodes}
+    b = {node: draw(st.integers(min_value=0, max_value=3)) for node in nodes}
+    return Partition.from_membership(a), Partition.from_membership(b)
+
+
+@given(two_partitions())
+@settings(max_examples=80, deadline=None)
+def test_both_measures_are_bounded_and_symmetric(partitions):
+    found, truth = partitions
+    for measure in (normalized_mutual_information, overlapping_nmi):
+        value = measure(found, truth)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(measure(truth, found), abs=1e-9)
+
+
+@given(two_partitions())
+@settings(max_examples=80, deadline=None)
+def test_identity_always_scores_one(partitions):
+    found, _ = partitions
+    assert normalized_mutual_information(found, found) == pytest.approx(1.0)
+    assert overlapping_nmi(found, found) == pytest.approx(1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for shortest-path routing."""
+
+import pytest
+
+from repro.network.routing import RoutingTable
+from repro.network.topology import MBPS, Host, Switch, Topology, TopologyError
+
+
+class TestRouting:
+    def test_route_within_cluster_is_two_hops(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        route = routing.route("left-0", "left-1")
+        assert len(route) == 2
+        assert all("sw-left" in name for name in route)
+
+    def test_route_across_bottleneck(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        route = routing.route("left-0", "right-0")
+        assert "bottleneck" in route
+        assert len(route) == 3
+
+    def test_route_to_self_is_empty(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        assert routing.route("left-0", "left-0") == []
+
+    def test_routes_are_symmetric_in_length(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        forward = routing.route("left-0", "right-2")
+        backward = routing.route("right-2", "left-0")
+        assert len(forward) == len(backward)
+        assert set(forward) == set(backward)
+
+    def test_unknown_source_raises(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        with pytest.raises(TopologyError):
+            routing.route("ghost", "left-0")
+
+    def test_hosts_do_not_forward_transit_traffic(self):
+        # a -- b -- c where b is a *host*: no route a->c may pass through b.
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_host(Host(name=name))
+        topo.add_link("a", "b", capacity=10 * MBPS)
+        topo.add_link("b", "c", capacity=10 * MBPS)
+        routing = RoutingTable(topo)
+        with pytest.raises(TopologyError):
+            routing.route("a", "c")
+        # Direct neighbours still reachable.
+        assert len(routing.route("a", "b")) == 1
+
+    def test_bottleneck_capacity(self, line_topology):
+        routing = RoutingTable(line_topology)
+        assert routing.bottleneck_capacity("a", "c") == pytest.approx(25 * MBPS)
+        assert routing.bottleneck_capacity("a", "b") == pytest.approx(50 * MBPS)
+        assert routing.bottleneck_capacity("a", "a") == float("inf")
+
+    def test_path_latency_accumulates(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        intra = routing.path_latency("left-0", "left-1")
+        inter = routing.path_latency("left-0", "right-0")
+        assert inter > intra > 0
+
+    def test_shared_links_detects_common_bottleneck(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        shared = routing.shared_links(("left-0", "right-0"), ("left-1", "right-1"))
+        assert "bottleneck" in shared
+        disjoint = routing.shared_links(("left-0", "left-1"), ("right-0", "right-1"))
+        assert disjoint == []
+
+    def test_prefers_lower_latency_path(self):
+        topo = Topology()
+        topo.add_host(Host(name="a"))
+        topo.add_host(Host(name="b"))
+        topo.add_switch(Switch(name="fast"))
+        topo.add_switch(Switch(name="slow1"))
+        topo.add_switch(Switch(name="slow2"))
+        topo.add_link("a", "fast", capacity=10 * MBPS, latency=1e-5)
+        topo.add_link("fast", "b", capacity=10 * MBPS, latency=1e-5)
+        topo.add_link("a", "slow1", capacity=10 * MBPS, latency=1e-3)
+        topo.add_link("slow1", "slow2", capacity=10 * MBPS, latency=1e-3)
+        topo.add_link("slow2", "b", capacity=10 * MBPS, latency=1e-3)
+        routing = RoutingTable(topo)
+        route = routing.route("a", "b")
+        assert len(route) == 2
+        assert all("fast" in name for name in route)
+
+    def test_grid5000_routes_use_renater_for_inter_site(self, two_site_topology):
+        routing = RoutingTable(two_site_topology)
+        hosts = two_site_topology.host_names
+        grenoble = [h for h in hosts if h.startswith("grenoble")]
+        toulouse = [h for h in hosts if h.startswith("toulouse")]
+        route = routing.route(grenoble[0], toulouse[0])
+        assert any(name.startswith("renater.") for name in route)
+        intra = routing.route(grenoble[0], grenoble[1])
+        assert not any(name.startswith("renater.") for name in intra)

@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import Event, EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in ("first", "second", "third"):
+            queue.push(5.0, lambda lbl=label: order.append(lbl))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        cancel = queue.push(0.5, lambda: fired.append("cancel"))
+        cancel.cancel()
+        assert len(queue) == 1
+        event = queue.pop()
+        event.callback()
+        assert fired == ["keep"]
+        assert keep is event
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == pytest.approx(2.0)
+
+    def test_empty_queue_behaviour(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert len(queue) == 0
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(1.5, lambda: times.append(sim.now))
+        sim.schedule_at(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == pytest.approx(1.5)
+
+    def test_schedule_in_uses_relative_delay(self):
+        sim = Simulator(start_time=10.0)
+        observed = []
+        sim.schedule_in(2.0, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == [pytest.approx(12.0)]
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth < 3:
+                sim.schedule_in(1.0, lambda: chain(depth + 1))
+
+        sim.schedule_at(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [pytest.approx(t) for t in (0.0, 1.0, 2.0, 3.0)]
+
+    def test_run_until_horizon_leaves_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.pending == 1
+        assert sim.now == pytest.approx(2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_non_finite_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert sim.pending == 1
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule_at(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_cancelled_event_not_executed(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_advance_to_moves_clock_forward_only(self):
+        sim = Simulator()
+        sim.advance_to(4.0)
+        assert sim.now == pytest.approx(4.0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(1.0)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(0.0, nested)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the point-to-point transfer facade."""
+
+import pytest
+
+from repro.network.routing import RoutingTable
+from repro.network.topology import MBPS
+from repro.network.transfer import PointToPointNetwork
+
+
+class TestPointToPointNetwork:
+    def test_measure_pair_reports_isolated_bandwidth(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        result = net.measure_pair("left-0", "left-1", 10e6)
+        assert result.bandwidth == pytest.approx(100 * MBPS, rel=1e-6)
+        assert result.duration == pytest.approx(10e6 / (100 * MBPS), rel=1e-6)
+
+    def test_concurrent_pairs_expose_shared_bottleneck(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        results = net.measure_pairs_concurrently(
+            [("left-0", "right-0"), ("left-1", "right-1")], 5e6
+        )
+        for result in results.values():
+            assert result.bandwidth == pytest.approx(5 * MBPS, rel=1e-6)
+
+    def test_disjoint_pairs_do_not_interfere(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        results = net.measure_pairs_concurrently(
+            [("left-0", "left-1"), ("right-0", "right-1")], 5e6
+        )
+        for result in results.values():
+            assert result.bandwidth == pytest.approx(100 * MBPS, rel=1e-6)
+
+    def test_busy_time_accumulates_makespan(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        net.measure_pair("left-0", "left-1", 10e6)
+        first = net.total_busy_time
+        net.measure_pair("left-0", "right-0", 10e6)
+        assert net.total_busy_time > first
+        assert net.measurements_run == 2
+        assert net.total_bytes == pytest.approx(20e6)
+
+    def test_empty_request_list(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        assert net.run_concurrent([]) == []
+        assert net.measurements_run == 0
+
+    def test_results_preserve_request_order(self, dumbbell_topology):
+        net = PointToPointNetwork(dumbbell_topology)
+        results = net.run_concurrent(
+            [("left-0", "left-1", 1e6), ("right-0", "right-1", 2e6)]
+        )
+        assert (results[0].src, results[0].dst) == ("left-0", "left-1")
+        assert (results[1].src, results[1].dst) == ("right-0", "right-1")
+        assert results[1].size == pytest.approx(2e6)
+
+    def test_isolated_bandwidth_uses_route_bottleneck(self, dumbbell_topology):
+        routing = RoutingTable(dumbbell_topology)
+        net = PointToPointNetwork(dumbbell_topology, routing)
+        assert net.isolated_bandwidth("left-0", "right-0") == pytest.approx(10 * MBPS)
+        assert net.isolated_bandwidth("left-0", "left-1") == pytest.approx(100 * MBPS)

@@ -1,0 +1,98 @@
+"""Tests for DOT export and text rendering helpers."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    ascii_cluster_table,
+    metric_summary,
+    render_dot,
+    render_fig4_bars,
+)
+from repro.bittorrent.instrumentation import FragmentMatrix
+from repro.clustering.partition import Partition
+from repro.graph.wgraph import WeightedGraph
+from repro.tomography.metric import aggregate_mean
+
+
+def sample_graph():
+    graph = WeightedGraph()
+    graph.add_edge("a", "b", 10.0)
+    graph.add_edge("b", "c", 5.0)
+    graph.add_edge("c", "d", 1.0)
+    return graph
+
+
+class TestRenderDot:
+    def test_contains_all_nodes_and_top_edges_only(self):
+        graph = sample_graph()
+        dot = render_dot(graph, top_edge_fraction=0.34)
+        for node in "abcd":
+            assert f'"{node}"' in dot
+        assert '"a" -- "b"' in dot
+        assert '"c" -- "d"' not in dot
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+
+    def test_ground_truth_controls_shapes(self):
+        graph = sample_graph()
+        truth = Partition([{"a", "b"}, {"c", "d"}])
+        dot = render_dot(graph, ground_truth=truth, top_edge_fraction=1.0)
+        assert "shape=diamond" in dot or "shape=circle" in dot
+        shapes = {line.split("shape=")[1].rstrip("];") for line in dot.splitlines() if "shape=" in line}
+        assert len(shapes) >= 2
+
+    def test_edge_length_inverse_to_weight(self):
+        graph = sample_graph()
+        dot = render_dot(graph, top_edge_fraction=1.0)
+        lengths = {}
+        for line in dot.splitlines():
+            if "--" in line and "len=" in line:
+                pair = line.split("[")[0].strip()
+                length = float(line.split("len=")[1].split(",")[0])
+                lengths[pair] = length
+        heavy = min(lengths.values())
+        light = max(lengths.values())
+        assert light > heavy
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            render_dot(sample_graph(), top_edge_fraction=0.0)
+
+
+class TestAsciiRendering:
+    def test_cluster_table_lists_all_nodes(self):
+        partition = Partition([{"a", "b"}, {"c"}])
+        table = ascii_cluster_table(partition)
+        for node in "abc":
+            assert node in table
+        assert "cluster 0" in table and "cluster 1" in table
+
+    def test_cluster_table_with_ground_truth_composition(self):
+        partition = Partition([{"a", "b", "c"}])
+        truth = Partition([{"a", "b"}, {"c"}])
+        table = ascii_cluster_table(partition, ground_truth=truth)
+        assert "truth-0" in table and "truth-1" in table
+
+    def test_fig4_bars_include_totals(self):
+        local = {"peer1": 700.0, "peer2": 650.0}
+        remote = {"peer3": 150.0}
+        text = render_fig4_bars(local, remote)
+        assert "local=1350" in text
+        assert "remote=150" in text
+        assert "#" in text
+
+    def test_fig4_bars_handle_empty_groups(self):
+        text = render_fig4_bars({}, {"x": 1.0})
+        assert "(none)" in text
+
+    def test_fig4_bars_width_validation(self):
+        with pytest.raises(ValueError):
+            render_fig4_bars({"a": 1.0}, {}, width=2)
+
+    def test_metric_summary_mentions_counts(self):
+        m = FragmentMatrix(["a", "b", "c"])
+        m.record("a", "b", 12)
+        metric = aggregate_mean([m])
+        text = metric_summary(metric)
+        assert "hosts: 3" in text
+        assert "edges with traffic: 1 / 3" in text
