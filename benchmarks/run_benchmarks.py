@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite and emit a normalized BENCH_*.json.
+
+The emitted file is the cross-PR performance record: one entry per
+benchmark with its wall-clock, plus the scale constants the campaigns ran
+at and the commit hash, so successive PRs can be compared with
+``--compare``.  See docs/performance.md for the protocol.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --output BENCH_PR1.json
+    python benchmarks/run_benchmarks.py -k "broadcast or solver" -o out.json
+    python benchmarks/run_benchmarks.py --compare BENCH_PR0.json -o BENCH_PR1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT, text=True
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_suite(select: str | None, raw_json: Path) -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-q",
+        f"--benchmark-json={raw_json}",
+    ]
+    if select:
+        command.extend(["-k", select])
+    env_path = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def normalize(raw_json: Path) -> dict:
+    import numpy
+
+    from benchmarks.conftest import ITERATIONS, NUM_FRAGMENTS, PER_SITE, SEED
+
+    raw = json.loads(raw_json.read_text())
+    benchmarks = []
+    for entry in raw.get("benchmarks", []):
+        stats = entry["stats"]
+        benchmarks.append(
+            {
+                "name": entry["name"],
+                "file": entry.get("fullname", "").split("::")[0],
+                "wall_clock_s": stats["mean"],
+                "stddev_s": stats["stddev"],
+                "rounds": stats["rounds"],
+            }
+        )
+    benchmarks.sort(key=lambda item: item["name"])
+    return {
+        "schema": "repro-bench-v1",
+        "commit": git_commit(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "scale": {
+            "PER_SITE": PER_SITE,
+            "NUM_FRAGMENTS": NUM_FRAGMENTS,
+            "ITERATIONS": ITERATIONS,
+            "SEED": SEED,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "cpu_count": multiprocessing.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def compare(current: dict, baseline_path: Path) -> None:
+    baseline = json.loads(baseline_path.read_text())
+    old = {entry["name"]: entry["wall_clock_s"] for entry in baseline.get("benchmarks", [])}
+    print(f"\n== comparison vs {baseline_path.name} ==")
+    for entry in current["benchmarks"]:
+        reference = old.get(entry["name"])
+        if not reference:
+            print(f"  {entry['name']:<60s} (new)")
+            continue
+        speedup = reference / entry["wall_clock_s"] if entry["wall_clock_s"] else float("inf")
+        print(
+            f"  {entry['name']:<60s} {reference:8.3f}s -> "
+            f"{entry['wall_clock_s']:8.3f}s  ({speedup:5.2f}x)"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_PR1.json",
+                        help="normalized output file (default: BENCH_PR1.json)")
+    parser.add_argument("-k", "--select", default=None,
+                        help="pytest -k expression to run a subset")
+    parser.add_argument("--compare", default=None,
+                        help="prior BENCH_*.json to print speedups against")
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_json = Path(handle.name)
+    status = run_suite(args.select, raw_json)
+    if status != 0:
+        print(f"benchmark run failed with exit status {status}", file=sys.stderr)
+        return status
+
+    normalized = normalize(raw_json)
+    raw_json.unlink(missing_ok=True)
+    output = Path(args.output)
+    output.write_text(json.dumps(normalized, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {output} ({len(normalized['benchmarks'])} benchmarks)")
+    if args.compare:
+        compare(normalized, Path(args.compare))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,11 @@ class PeerState:
             self.have = np.asarray(self.have, dtype=bool)
             if self.have.shape != (self.num_fragments,):
                 raise ValueError("have bitfield has wrong shape")
+        # Cached so interest/seed checks are O(1) on the swarm hot path; the
+        # bitfield must only be mutated through make_seed/receive_fragment —
+        # except by the broadcast loop in repro.bittorrent.swarm, which
+        # writes the shared bitfield matrix and this cache in lockstep.
+        self._fragment_count = int(self.have.sum())
 
     # ------------------------------------------------------------------ #
     # fragment bookkeeping
@@ -66,22 +71,25 @@ class PeerState:
     @property
     def fragment_count(self) -> int:
         """Number of fragments currently held."""
-        return int(self.have.sum())
+        return self._fragment_count
 
     @property
     def is_seed(self) -> bool:
         """True once the peer holds the complete file."""
-        return self.fragment_count == self.num_fragments
+        return self._fragment_count == self.num_fragments
 
     def make_seed(self) -> None:
         """Mark the peer as holding the whole file (the broadcast root)."""
         self.have[:] = True
+        self._fragment_count = self.num_fragments
 
     def receive_fragment(self, fragment: int) -> None:
         """Record the arrival of one fragment."""
         if not 0 <= fragment < self.num_fragments:
             raise IndexError(f"fragment index {fragment} out of range")
-        self.have[fragment] = True
+        if not self.have[fragment]:
+            self.have[fragment] = True
+            self._fragment_count += 1
 
     def missing_from(self, other: "PeerState") -> np.ndarray:
         """Boolean mask of fragments ``other`` has and ``self`` lacks."""

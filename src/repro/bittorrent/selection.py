@@ -4,6 +4,12 @@ As in the reference client, a peer that holds only a handful of fragments
 picks random ones (to get something to trade quickly); after that it requests
 the rarest fragment among those the uploader can provide, breaking ties
 randomly.  Availability is tracked swarm-wide as a fragment-indexed counter.
+
+NOTE: the broadcast hot loop in ``repro.bittorrent.swarm`` inlines this
+selection rule (tie-tier form) for speed; any change to the policy here —
+thresholds, tie-breaking, random-stream consumption — must be mirrored
+there, and the seed-replay goldens in ``tests/test_seed_replay.py`` will
+flag a divergence on the covered scenarios.
 """
 
 from __future__ import annotations
@@ -58,11 +64,28 @@ class PieceSelector:
 
         Returns ``None`` when the uploader has nothing the downloader needs.
         """
-        wanted = downloader.missing_from(uploader)
-        candidates = np.flatnonzero(wanted)
+        return self.select_from(
+            uploader.have, ~downloader.have, downloader.fragment_count, rng
+        )
+
+    def select_from(
+        self,
+        uploader_have: np.ndarray,
+        downloader_lack: np.ndarray,
+        downloader_count: int,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Hot-path selection on raw bitfields.
+
+        ``downloader_lack`` is the complement of the downloader's bitfield;
+        the swarm maintains it incrementally so this path never materialises
+        ``~have``.  Consumes the random stream exactly like :meth:`select`.
+        """
+        wanted = uploader_have & downloader_lack
+        candidates = wanted.nonzero()[0]
         if candidates.size == 0:
             return None
-        if downloader.fragment_count < self.random_first_threshold:
+        if downloader_count < self.random_first_threshold:
             return int(candidates[int(rng.integers(0, candidates.size))])
         availability = self.availability[candidates]
         rarest = availability.min()

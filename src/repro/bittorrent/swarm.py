@@ -22,7 +22,8 @@ fast enough to run dozens of measurement iterations on a laptop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import bisect
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -37,6 +38,13 @@ from repro.network.fluid import FluidNetwork, FluidTransfer
 from repro.network.grid5000 import DEFAULT_TCP_WINDOW, flow_rate_cap
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+
+
+#: Below this ``hosts² × fragments`` product the interest matrix is simply
+#: recomputed every control step with one BLAS matmul; above it (paper scale)
+#: it is maintained incrementally per receipt batch.  Both paths produce
+#: identical integer counts — this is purely a performance crossover.
+MATMUL_INTEREST_LIMIT = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -177,9 +185,21 @@ class BitTorrentBroadcast:
         cfg = self.config
         num_fragments = cfg.torrent.num_fragments
         fragment_size = cfg.torrent.fragment_size
+        n = len(self.hosts)
+        index: Dict[str, int] = {name: i for i, name in enumerate(self.hosts)}
+        root_index = index[root]
+        # Host indices in lexicographic name order: candidate lists must come
+        # out sorted by name (exactly as the scalar implementation's
+        # ``sorted()`` produced them) for bit-for-bit seed replay.
+        lex_order = np.array(sorted(range(n), key=self.hosts.__getitem__))
 
+        # Shared bitfield matrix: row i is peer i's ``have`` array, so peer
+        # mutations and the vectorized interest state see the same memory.
+        have = np.zeros((n, num_fragments), dtype=bool)
         peers: Dict[str, PeerState] = {
-            name: PeerState(name=name, index=i, num_fragments=num_fragments)
+            name: PeerState(
+                name=name, index=i, num_fragments=num_fragments, have=have[i]
+            )
             for i, name in enumerate(self.hosts)
         }
         peers[root].make_seed()
@@ -192,32 +212,91 @@ class BitTorrentBroadcast:
             selector.register_bitfield(peer.have)
 
         connections = self.tracker.build_connections(self.hosts, rng)
+        neighbor_mask = np.zeros((n, n), dtype=bool)
         for name, neighbor_set in connections.items():
             peers[name].neighbors = set(neighbor_set)
+            i = index[name]
+            for other in neighbor_set:
+                neighbor_mask[i, index[other]] = True
+
+        # lack = ~have, maintained incrementally; wanted[u, d] counts the
+        # fragments u holds that d lacks, so "d is interested in u" is the
+        # O(1) test wanted[u, d] > 0 (equivalent to the wire-protocol rule:
+        # seeds want nothing, empty peers offer nothing, and a seeding
+        # uploader always has something an incomplete downloader needs).
+        #
+        # Two equivalent maintenance strategies (both produce exact integer
+        # counts, so behaviour is identical): small swarms recompute the
+        # matrix each control step with one BLAS matmul; large ones (paper
+        # scale: 128 hosts x 15k fragments) update it incrementally per
+        # receipt batch, which is O(hosts) per received fragment.
+        lack = ~have
+        interest_by_matmul = n * n * num_fragments <= MATMUL_INTEREST_LIMIT
+        wanted = np.zeros((n, n), dtype=np.int64)
+        wanted[root_index, :] = num_fragments
+        wanted[root_index, root_index] = 0
+
+        def recompute_wanted() -> np.ndarray:
+            # counts[u] - |u ∩ d| via one float32 matmul; exact because the
+            # counts are far below 2**24.
+            have_f = have.astype(np.float32)
+            common = have_f @ have_f.T
+            return common.diagonal()[:, None] - common
 
         fluid = FluidNetwork(self.topology, self.routing)
         fragments = FragmentMatrix(self.hosts)
+        availability = selector.availability
+        random_first_threshold = selector.random_first_threshold
+        wanted_buf = np.empty(num_fragments, dtype=bool)
+        alive_buf = np.empty(num_fragments, dtype=bool)
 
-        # Active fluid pipes keyed by (uploader, downloader).
+        # Active fluid pipes keyed by (uploader, downloader); ``pipe_order``
+        # mirrors the keys in sorted order (maintained by bisect on
+        # open/close) so the per-step scans never re-sort.  Aligned with
+        # ``pipe_order`` are contiguous per-pipe vectors (fluid slot, host
+        # indices, consumed bytes, tit-for-tat credit base, fragment
+        # progress) rebuilt lazily after membership changes, so the per-step
+        # byte accounting is a handful of array operations.
         pipes: Dict[Tuple[str, str], FluidTransfer] = {}
-        consumed: Dict[Tuple[str, str], float] = {}
-        progress: Dict[Tuple[str, str], float] = {}
+        pipe_order: List[Tuple[str, str]] = []
+        pipe_pos: Dict[Tuple[str, str], int] = {}
+        pipe_slots = np.empty(0, dtype=np.int64)
+        pipe_up = np.empty(0, dtype=np.int64)
+        pipe_down = np.empty(0, dtype=np.int64)
+        pipe_consumed = np.empty(0, dtype=np.float64)
+        pipe_credit_base = np.empty(0, dtype=np.float64)
+        pipe_progress = np.empty(0, dtype=np.float64)
+        # A pipe whose fluid transfer ran its whole byte budget is detached
+        # from the FlowSet (its slot is recycled) but, exactly as in the
+        # scalar implementation, stays open and simply starves: its frozen
+        # transferred value is patched over the slot read each step.
+        pipe_dead_positions = np.empty(0, dtype=np.int64)
+        pipe_dead_values = np.empty(0, dtype=np.float64)
+        pipes_dirty = False
+        # Fragment progress of currently-closed pipes (progress survives a
+        # close/reopen cycle, as in the scalar implementation).
+        progress_carry: Dict[Tuple[str, str], float] = {}
+        # Sorted view of every peer's unchoke set, same replay rationale.
+        unchoked_order: Dict[str, List[str]] = {name: [] for name in self.hosts}
 
         incomplete: Set[str] = {name for name in self.hosts if name != root}
+        incomplete_mask = np.ones(n, dtype=bool)
+        incomplete_mask[root_index] = False
         time = 0.0
         round_index = 0
         next_rechoke = 0.0
 
-        def interested_in(uploader: str) -> List[str]:
-            """Neighbours of ``uploader`` that want something it has."""
-            up = peers[uploader]
-            return sorted(
-                d
-                for d in up.neighbors
-                if d in incomplete and peers[d].is_interested_in(up)
-            )
+        def interested_in(uploader_index: int) -> List[str]:
+            """Neighbours of the uploader that want something it has, by name."""
+            mask = neighbor_mask[uploader_index] & incomplete_mask
+            mask &= wanted[uploader_index] > 0
+            if not mask.any():
+                return []
+            hosts = self.hosts
+            return [hosts[i] for i in lex_order[mask[lex_order]]]
 
         def open_pipe(uploader: str, downloader: str) -> None:
+            nonlocal pipes_dirty
             key = (uploader, downloader)
             if key in pipes:
                 return
@@ -228,108 +307,305 @@ class BitTorrentBroadcast:
                 rate_cap=self._rate_cap(uploader, downloader),
             )
             pipes[key] = transfer
-            consumed[key] = transfer.transferred
-            progress.setdefault(key, 0.0)
+            bisect.insort(pipe_order, key)
+            pipes_dirty = True
 
         def close_pipe(uploader: str, downloader: str, keep_progress: bool = True) -> None:
+            nonlocal pipes_dirty
             key = (uploader, downloader)
             transfer = pipes.pop(key, None)
-            if transfer is not None:
-                fluid.cancel_transfer(transfer)
-            consumed.pop(key, None)
-            if not keep_progress:
-                progress.pop(key, None)
+            if transfer is None:
+                if not keep_progress:
+                    progress_carry.pop(key, None)
+                return
+            fluid.cancel_transfer(transfer)
+            del pipe_order[bisect.bisect_left(pipe_order, key)]
+            pipes_dirty = True
+            position = pipe_pos.pop(key, None)
+            if position is None:
+                # Opened and closed before the vectors were ever rebuilt: no
+                # bytes moved, nothing to flush.
+                if not keep_progress:
+                    progress_carry.pop(key, None)
+                return
+            # Flush the round's tit-for-tat credit before the pipe vanishes.
+            delta = pipe_consumed[position] - pipe_credit_base[position]
+            if delta > 0:
+                peers[downloader].credit_download(uploader, float(delta))
+            if keep_progress:
+                progress_carry[key] = float(pipe_progress[position])
+            else:
+                progress_carry.pop(key, None)
+
+        def rebuild_pipe_vectors() -> None:
+            nonlocal pipes_dirty, pipe_pos, pipe_slots, pipe_up, pipe_down
+            nonlocal pipe_consumed, pipe_credit_base, pipe_progress
+            nonlocal pipe_dead_positions, pipe_dead_values
+            count = len(pipe_order)
+            new_pos: Dict[Tuple[str, str], int] = {}
+            slots = np.empty(count, dtype=np.int64)
+            up_idx = np.empty(count, dtype=np.int64)
+            down_idx = np.empty(count, dtype=np.int64)
+            new_consumed = np.zeros(count, dtype=np.float64)
+            new_base = np.zeros(count, dtype=np.float64)
+            new_progress = np.zeros(count, dtype=np.float64)
+            dead_positions: List[int] = []
+            dead_values: List[float] = []
+            old_pos = pipe_pos
+            for position, key in enumerate(pipe_order):
+                new_pos[key] = position
+                transfer = pipes[key]
+                slot = transfer._slot
+                if slot < 0:
+                    # Completed transfer: park the position on slot 0 and
+                    # patch its frozen byte count over the vector read.
+                    slot = 0
+                    dead_positions.append(position)
+                    dead_values.append(transfer.transferred)
+                slots[position] = slot
+                uploader, downloader = key
+                up_idx[position] = index[uploader]
+                down_idx[position] = index[downloader]
+                previous = old_pos.get(key)
+                if previous is None:
+                    new_progress[position] = progress_carry.pop(key, 0.0)
+                else:
+                    new_consumed[position] = pipe_consumed[previous]
+                    new_base[position] = pipe_credit_base[previous]
+                    new_progress[position] = pipe_progress[previous]
+            pipe_pos = new_pos
+            pipe_slots = slots
+            pipe_up = up_idx
+            pipe_down = down_idx
+            pipe_consumed = new_consumed
+            pipe_credit_base = new_base
+            pipe_progress = new_progress
+            pipe_dead_positions = np.array(dead_positions, dtype=np.int64)
+            pipe_dead_values = np.array(dead_values, dtype=np.float64)
+            pipes_dirty = False
+
+        def flush_credits() -> None:
+            """Credit each open pipe's bytes since the last rechoke.
+
+            The scalar implementation credited every step; the totals per
+            choking round are identical, so crediting lazily (at rechoke and
+            on pipe close) preserves the reciprocation ranking.
+            """
+            owed = pipe_consumed - pipe_credit_base
+            for position in np.flatnonzero(owed > 0):
+                uploader, downloader = pipe_order[position]
+                peers[downloader].credit_download(
+                    uploader, float(owed[position])
+                )
+            np.copyto(pipe_credit_base, pipe_consumed)
 
         def sync_pipes() -> None:
             """Make the fluid flow set match the current unchoke/interest state.
 
-            Iteration is over *sorted* unchoke sets so that the order in which
-            pipes are opened — and therefore the consumption of the random
-            stream — is identical across processes regardless of string-hash
-            randomisation; campaigns replay bit-for-bit from their seed.
+            Iteration follows the maintained sorted unchoke/pipe orders so
+            that the order in which pipes are opened — and therefore the
+            consumption of the random stream — is identical across processes
+            regardless of string-hash randomisation; campaigns replay
+            bit-for-bit from their seed.
             """
-            for uploader, up in peers.items():
+            for uploader_index, uploader in enumerate(self.hosts):
+                up = peers[uploader]
                 if up.fragment_count == 0:
                     continue
-                for downloader in sorted(up.unchoked):
+                order = unchoked_order[uploader]
+                for downloader in list(order):
                     if downloader not in up.neighbors:
                         up.unchoked.discard(downloader)
+                        order.remove(downloader)
                         close_pipe(uploader, downloader)
                         continue
-                    down = peers[downloader]
-                    if downloader not in incomplete or not down.is_interested_in(up):
+                    if (
+                        downloader not in incomplete
+                        or wanted[uploader_index, index[downloader]] <= 0
+                    ):
                         close_pipe(uploader, downloader)
                     else:
                         open_pipe(uploader, downloader)
             # Drop pipes whose uploader revoked the unchoke.
-            for uploader, downloader in sorted(pipes.keys()):
+            for uploader, downloader in list(pipe_order):
                 if downloader not in peers[uploader].unchoked:
                     close_pipe(uploader, downloader)
 
         max_steps = int(np.ceil(cfg.max_sim_time / cfg.control_dt)) + 1
+        upload_slots = self.choking.upload_slots
         for _step in range(max_steps):
             if not incomplete:
                 break
+            if interest_by_matmul:
+                wanted = recompute_wanted()
 
             # --- choking -------------------------------------------------- #
             if time >= next_rechoke - 1e-12:
+                if pipe_order:
+                    flush_credits()
                 for name in rng.permutation(self.hosts):
                     peer = peers[name]
-                    candidates = interested_in(name)
+                    candidates = interested_in(index[name])
                     peer.unchoked = self.choking.rechoke(
                         peer, candidates, round_index, rng
                     )
+                    unchoked_order[name] = sorted(peer.unchoked)
                     peer.reset_round()
                 round_index += 1
                 next_rechoke += cfg.rechoke_interval
             else:
                 # Fill idle upload slots as soon as someone becomes interested.
-                for name in self.hosts:
+                # One matrix pass replaces the per-host interest masks.
+                fillable = neighbor_mask & incomplete_mask[None, :]
+                np.logical_and(fillable, wanted > 0, out=fillable)
+                host_has_candidates = fillable.any(axis=1).tolist()
+                hosts = self.hosts
+                for uploader_index, name in enumerate(hosts):
                     peer = peers[name]
                     if peer.fragment_count == 0:
                         continue
-                    peer.unchoked = {
-                        d for d in peer.unchoked if d in incomplete or d == root
-                    }
-                    free = self.choking.upload_slots - len(peer.unchoked)
-                    if free <= 0:
+                    unchoked = peer.unchoked
+                    if unchoked:
+                        stale = [
+                            d for d in unchoked
+                            if d not in incomplete and d != root
+                        ]
+                        if stale:
+                            order = unchoked_order[name]
+                            for d in stale:
+                                unchoked.discard(d)
+                                order.remove(d)
+                    free = upload_slots - len(unchoked)
+                    if free <= 0 or not host_has_candidates[uploader_index]:
                         continue
-                    waiting = [d for d in interested_in(name) if d not in peer.unchoked]
+                    row = fillable[uploader_index]
+                    waiting = [
+                        hosts[i] for i in lex_order[row[lex_order]]
+                        if hosts[i] not in unchoked
+                    ]
                     if not waiting:
                         continue
                     picks = rng.choice(len(waiting), size=min(free, len(waiting)),
                                        replace=False)
-                    peer.unchoked.update(waiting[i] for i in picks)
+                    order = unchoked_order[name]
+                    for i in picks:
+                        pick = waiting[i]
+                        if pick not in unchoked:
+                            unchoked.add(pick)
+                            bisect.insort(order, pick)
 
             sync_pipes()
+            if pipes_dirty:
+                rebuild_pipe_vectors()
 
             # --- data movement -------------------------------------------- #
-            fluid.advance(cfg.control_dt)
+            if fluid.advance(cfg.control_dt):
+                # A pipe transfer exhausted its byte budget and was detached;
+                # its recycled slot must not be read after the next rebuild.
+                pipes_dirty = True
             time += cfg.control_dt
 
-            for (uploader, downloader), transfer in sorted(pipes.items()):
-                delta = transfer.transferred - consumed[(uploader, downloader)]
-                if delta <= 0:
-                    continue
-                consumed[(uploader, downloader)] = transfer.transferred
+            ready_list: List[int] = []
+            if pipe_order:
+                moved = fluid.transferred_for(pipe_slots)
+                if pipe_dead_positions.size:
+                    moved[pipe_dead_positions] = pipe_dead_values
+                deltas = moved - pipe_consumed
+                np.copyto(pipe_consumed, moved)
+                pipe_progress += deltas
+                # Only pipes that accumulated a whole fragment need Python
+                # work; everything else was accounted by the array ops above.
+                ready = np.flatnonzero(
+                    (deltas > 0) & (pipe_progress >= fragment_size)
+                )
+                if ready.size:
+                    # Unbox the per-event scalars in bulk; the loop below then
+                    # runs on plain Python ints/floats.
+                    ready_list = ready.tolist()
+                    ready_up = pipe_up[ready].tolist()
+                    ready_down = pipe_down[ready].tolist()
+                    ready_progress = pipe_progress[ready].tolist()
+
+            for event, position in enumerate(ready_list):
+                uploader, downloader = pipe_order[position]
+                uploader_index = ready_up[event]
+                downloader_index = ready_down[event]
                 down = peers[downloader]
-                up = peers[uploader]
-                down.credit_download(uploader, delta)
-                progress[(uploader, downloader)] += delta
-                while progress[(uploader, downloader)] >= fragment_size:
-                    fragment = selector.select(down, up, rng)
-                    if fragment is None:
-                        # Nothing useful left on this pipe; drop the surplus.
-                        progress[(uploader, downloader)] = 0.0
-                        break
-                    progress[(uploader, downloader)] -= fragment_size
-                    down.receive_fragment(fragment)
-                    selector.record_receipt(fragment)
-                    fragments.record(downloader, uploader)
-                    if down.is_seed:
+                surplus = ready_progress[event]
+                downloader_have = have[downloader_index]
+                downloader_lack = lack[downloader_index]
+                held = down._fragment_count
+                received: List[int] = []
+                # Inlined rarest-first selection (PieceSelector.select_from
+                # semantics, identical random-stream consumption).  Within one
+                # pipe's conversion loop only the downloader's bitfield
+                # changes, and only at just-received fragments — so the
+                # candidate set is computed once, consumed via an alive mask,
+                # and the rarest tie group drains through cheap list pops; the
+                # next tier is recomputed exactly when the scalar code's min
+                # would move on.
+                np.logical_and(have[uploader_index], downloader_lack, out=wanted_buf)
+                candidates = wanted_buf.nonzero()[0]
+                if candidates.size == 0:
+                    # Nothing useful left on this pipe; drop the surplus.
+                    pipe_progress[position] = 0.0
+                    continue
+                alive = alive_buf[: candidates.size]
+                alive.fill(True)
+                counts_vals: Optional[np.ndarray] = None
+                tie_positions: Optional[List[int]] = None
+                while surplus >= fragment_size:
+                    if held < random_first_threshold:
+                        live = candidates[alive]
+                        if live.size == 0:
+                            surplus = 0.0
+                            break
+                        fragment = int(live[int(rng.integers(0, live.size))])
+                        alive[int(np.searchsorted(candidates, fragment))] = False
+                        tie_positions = None
+                    else:
+                        if not tie_positions:
+                            if counts_vals is None:
+                                counts_vals = availability[candidates]
+                            live_counts = counts_vals[alive]
+                            if live_counts.size == 0:
+                                surplus = 0.0
+                                break
+                            rarest = live_counts.min()
+                            tie_positions = (
+                                ((counts_vals == rarest) & alive).nonzero()[0].tolist()
+                            )
+                        r = int(rng.integers(0, len(tie_positions)))
+                        pos = tie_positions.pop(r)
+                        fragment = int(candidates[pos])
+                        alive[pos] = False
+                    surplus -= fragment_size
+                    received.append(fragment)
+                    downloader_lack[fragment] = False
+                    downloader_have[fragment] = True
+                    availability[fragment] += 1
+                    held += 1
+                    if held == num_fragments:
+                        down._fragment_count = held
                         down.completion_time = time
                         incomplete.discard(downloader)
+                        incomplete_mask[downloader_index] = False
                         break
+                down._fragment_count = held
+                pipe_progress[position] = surplus
+                if received:
+                    fragments.counts[downloader_index, uploader_index] += len(received)
+                    if not interest_by_matmul:
+                        # Batched interest update: within this loop only the
+                        # downloader's row/column changed, so the per-receipt
+                        # column sums collapse into one fancy-indexed sum (the
+                        # diagonal is forced back to zero afterwards; the row
+                        # update uses lack = ~have elementwise).
+                        shared = have[:, received].sum(axis=1)
+                        wanted[:, downloader_index] -= shared
+                        wanted[downloader_index, :] += len(received) - shared
+                        wanted[downloader_index, downloader_index] = 0
+
 
         else:
             raise RuntimeError(

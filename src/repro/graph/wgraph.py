@@ -21,22 +21,22 @@ Node = Hashable
 Edge = Tuple[Node, Node]
 
 
-def _edge_key(u: Node, v: Node) -> Edge:
-    """Canonical (sorted by repr) key for an undirected edge."""
-    if repr(u) <= repr(v):
-        return (u, v)
-    return (v, u)
-
-
 class WeightedGraph:
     """Undirected graph with non-negative edge weights and optional self-loops.
 
-    The class keeps an adjacency map ``node -> {neighbour: weight}`` plus a
-    cached total weight, which is what modularity computations need.
+    The class keeps an adjacency map ``node -> {neighbour: weight}``, an
+    interned ``node -> insertion id`` map (the canonical edge orientation,
+    replacing repr-based keys), and cached edge-count/total-weight
+    aggregates maintained on every mutation, so ``number_of_edges()`` and
+    ``total_weight()`` — called in the inner loops of Louvain, Infomap and
+    modularity — are O(1).
     """
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._node_id: Dict[Node, int] = {}
+        self._num_edges = 0
+        self._total_weight = 0.0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -97,13 +97,18 @@ class WeightedGraph:
         clone = WeightedGraph()
         for node, nbrs in self._adj.items():
             clone._adj[node] = dict(nbrs)
+        clone._node_id = dict(self._node_id)
+        clone._num_edges = self._num_edges
+        clone._total_weight = self._total_weight
         return clone
 
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
     def add_node(self, node: Node) -> None:
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._node_id[node] = len(self._node_id)
+            self._adj[node] = {}
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0, accumulate: bool = False) -> None:
         """Add (or overwrite / accumulate) the undirected edge ``u -- v``."""
@@ -112,18 +117,27 @@ class WeightedGraph:
             raise ValueError(f"edge weights must be non-negative, got {weight}")
         self.add_node(u)
         self.add_node(v)
-        if accumulate:
-            weight += self._adj[u].get(v, 0.0)
+        previous = self._adj[u].get(v)
+        if accumulate and previous is not None:
+            weight += previous
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        if previous is None:
+            self._num_edges += 1
+            self._total_weight += weight
+        else:
+            self._total_weight += weight - previous
 
     def remove_edge(self, u: Node, v: Node) -> None:
         try:
+            weight = self._adj[u][v]
             del self._adj[u][v]
             if u != v:
                 del self._adj[v][u]
         except KeyError as exc:
             raise KeyError(f"edge {u!r} -- {v!r} not in graph") from exc
+        self._num_edges -= 1
+        self._total_weight -= weight
 
     # ------------------------------------------------------------------ #
     # queries
@@ -150,18 +164,21 @@ class WeightedGraph:
         return dict(self._adj[node])
 
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
-        """Yield each undirected edge once as ``(u, v, weight)``."""
-        seen = set()
+        """Yield each undirected edge once as ``(u, v, weight)``.
+
+        The first endpoint is the earlier-inserted node, so no seen-set (or
+        repr-based canonical key) is needed: an edge is yielded exactly when
+        the adjacency scan reaches its lower-id endpoint.
+        """
+        node_id = self._node_id
         for u, nbrs in self._adj.items():
+            iu = node_id[u]
             for v, w in nbrs.items():
-                key = _edge_key(u, v)
-                if key in seen:
-                    continue
-                seen.add(key)
-                yield (u, v, w)
+                if node_id[v] >= iu:
+                    yield (u, v, w)
 
     def number_of_edges(self) -> int:
-        return sum(1 for _ in self.edges())
+        return self._num_edges
 
     def degree_weight(self, node: Node) -> float:
         """Weighted degree; self-loops count twice, as in modularity papers."""
@@ -176,10 +193,15 @@ class WeightedGraph:
 
     def total_weight(self) -> float:
         """Sum of edge weights (each undirected edge counted once)."""
-        return sum(w for _, _, w in self.edges())
+        return self._total_weight
 
     def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
-        """Induced subgraph on ``nodes`` (edges with both endpoints inside)."""
+        """Induced subgraph on ``nodes`` (edges with both endpoints inside).
+
+        Only the kept nodes' adjacency is visited, so extracting a small
+        community out of a large graph is O(kept nodes + their edges), not
+        O(all edges).
+        """
         keep = set(nodes)
         missing = keep - set(self._adj)
         if missing:
@@ -187,9 +209,13 @@ class WeightedGraph:
         sub = WeightedGraph()
         for node in keep:
             sub.add_node(node)
-        for u, v, w in self.edges():
-            if u in keep and v in keep:
-                sub.add_edge(u, v, w)
+        node_id = self._node_id
+        for u in sorted(keep, key=node_id.__getitem__):
+            iu = node_id[u]
+            adj_u = self._adj[u]
+            for v, w in adj_u.items():
+                if node_id[v] >= iu and v in keep:
+                    sub.add_edge(u, v, w)
         return sub
 
     def connected_components(self) -> List[List[Node]]:

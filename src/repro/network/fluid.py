@@ -10,21 +10,30 @@ Two usage styles are supported:
   clock in fixed steps and the engine credits ``rate × dt`` bytes to every
   active transfer; the BitTorrent swarm uses this mode because its own control
   loop (choking rounds, piece selection) already runs on a periodic schedule.
+
+Internally the network keeps a :class:`~repro.network.solver.FlowSet` whose
+slots index contiguous ``remaining``/``rate``/``size`` vectors, so the
+reallocation and the advance loop's ETA/credit scans are batched array
+operations.  :class:`FluidTransfer` objects are thin views: their
+``transferred``/``rate`` properties read the vectors, so per-step state is
+never copied back onto Python objects.
 """
 
 from __future__ import annotations
 
 import itertools
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.network.flows import FlowDemand, max_min_fair_allocation
+import numpy as np
+
 from repro.network.routing import RoutingTable
+from repro.network.solver import FlowSet
 from repro.network.topology import Topology
 
+#: Rate assigned to loopback / unconstrained transfers (local-memory speed).
+LOOPBACK_RATE = 100e9
 
-@dataclass
+
 class FluidTransfer:
     """A unidirectional bulk transfer between two hosts.
 
@@ -37,24 +46,65 @@ class FluidTransfer:
     size:
         Total bytes to move.
     transferred:
-        Bytes moved so far.
+        Bytes moved so far (live view onto the network's state vectors).
     rate:
         Current allocated rate (bytes/second); updated on every reallocation.
     on_complete:
         Optional callback invoked (with the transfer) when it finishes.
     """
 
-    transfer_id: int
-    src: str
-    dst: str
-    size: float
-    links: Tuple[str, ...]
-    rate_cap: Optional[float] = None
-    transferred: float = 0.0
-    rate: float = 0.0
-    start_time: float = 0.0
-    finish_time: Optional[float] = None
-    on_complete: Optional[Callable[["FluidTransfer"], None]] = None
+    __slots__ = (
+        "transfer_id",
+        "src",
+        "dst",
+        "size",
+        "links",
+        "rate_cap",
+        "start_time",
+        "finish_time",
+        "on_complete",
+        "_net",
+        "_slot",
+        "_final_transferred",
+        "_final_rate",
+    )
+
+    def __init__(
+        self,
+        transfer_id: int,
+        src: str,
+        dst: str,
+        size: float,
+        links: Tuple[str, ...],
+        rate_cap: Optional[float] = None,
+        start_time: float = 0.0,
+        on_complete: Optional[Callable[["FluidTransfer"], None]] = None,
+    ) -> None:
+        self.transfer_id = transfer_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.links = links
+        self.rate_cap = rate_cap
+        self.start_time = start_time
+        self.finish_time: Optional[float] = None
+        self.on_complete = on_complete
+        self._net: Optional["FluidNetwork"] = None
+        self._slot = -1
+        self._final_transferred = 0.0
+        self._final_rate = 0.0
+
+    @property
+    def transferred(self) -> float:
+        if self._slot >= 0:
+            return self.size - max(float(self._net._remaining[self._slot]), 0.0)
+        return self._final_transferred
+
+    @property
+    def rate(self) -> float:
+        if self._slot >= 0:
+            return float(self._net._rate[self._slot])
+        return self._final_rate
 
     @property
     def remaining(self) -> float:
@@ -64,6 +114,12 @@ class FluidTransfer:
     def done(self) -> bool:
         return self.remaining <= 1e-9
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FluidTransfer(id={self.transfer_id}, {self.src!r}->{self.dst!r}, "
+            f"{self.transferred:.0f}/{self.size:.0f}B)"
+        )
+
 
 class FluidNetwork:
     """Tracks active transfers over a topology and shares bandwidth max-min fairly."""
@@ -71,14 +127,19 @@ class FluidNetwork:
     def __init__(self, topology: Topology, routing: Optional[RoutingTable] = None) -> None:
         self.topology = topology
         self.routing = routing or RoutingTable(topology)
-        self._capacity: Dict[str, float] = {
-            link.name: link.capacity for link in topology.links
-        }
+        self._flows = FlowSet(self.routing.capacity_vector())
         self._active: Dict[int, FluidTransfer] = {}
         self._ids = itertools.count(1)
         self._dirty = True
         self.now = 0.0
         self.completed: List[FluidTransfer] = []
+        # Slot-aligned state vectors (grown in lockstep with the FlowSet pool).
+        pool = self._flows.pool_size
+        self._remaining = np.zeros(pool, dtype=np.float64)
+        self._rate = np.zeros(pool, dtype=np.float64)
+        self._size = np.zeros(pool, dtype=np.float64)
+        self._by_slot: Dict[int, FluidTransfer] = {}
+        self._slots_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # transfer management
@@ -96,25 +157,52 @@ class FluidNetwork:
             raise ValueError(f"transfer size must be positive, got {size}")
         if not self.topology.is_host(src) or not self.topology.is_host(dst):
             raise ValueError(f"transfers must run between hosts ({src!r} -> {dst!r})")
-        links = tuple(self.routing.route(src, dst))
+        route = self.routing.route_indices(src, dst)
+        slot = self._flows.add(route, rate_cap, assume_unique=True)
+        if slot >= self._remaining.size:
+            grow = self._flows.pool_size - self._remaining.size
+            self._remaining = np.concatenate([self._remaining, np.zeros(grow)])
+            self._rate = np.concatenate([self._rate, np.zeros(grow)])
+            self._size = np.concatenate([self._size, np.zeros(grow)])
         transfer = FluidTransfer(
             transfer_id=next(self._ids),
             src=src,
             dst=dst,
             size=float(size),
-            links=links,
+            links=self.routing.route_tuple(src, dst),
             rate_cap=rate_cap,
             start_time=self.now,
             on_complete=on_complete,
         )
+        transfer._net = self
+        transfer._slot = slot
+        self._remaining[slot] = transfer.size
+        self._size[slot] = transfer.size
+        self._rate[slot] = 0.0
         self._active[transfer.transfer_id] = transfer
+        self._by_slot[slot] = transfer
+        self._slots_cache = None
         self._dirty = True
         return transfer
 
+    def _detach(self, transfer: FluidTransfer) -> None:
+        """Freeze a transfer's state and release its slot."""
+        slot = transfer._slot
+        transfer._final_transferred = transfer.size - max(float(self._remaining[slot]), 0.0)
+        transfer._final_rate = float(self._rate[slot])
+        transfer._slot = -1
+        transfer._net = None
+        self._flows.remove(slot)
+        del self._by_slot[slot]
+        self._slots_cache = None
+        self._dirty = True
+
     def cancel_transfer(self, transfer: FluidTransfer) -> None:
         """Abort a transfer without firing its completion callback."""
-        self._active.pop(transfer.transfer_id, None)
-        self._dirty = True
+        live = self._active.pop(transfer.transfer_id, None)
+        if live is None:
+            return
+        self._detach(transfer)
 
     @property
     def active_transfers(self) -> List[FluidTransfer]:
@@ -123,25 +211,31 @@ class FluidNetwork:
     # ------------------------------------------------------------------ #
     # rate allocation
     # ------------------------------------------------------------------ #
+    def _active_slots(self) -> np.ndarray:
+        if self._slots_cache is None:
+            self._slots_cache = np.fromiter(
+                self._by_slot.keys(), dtype=np.int64, count=len(self._by_slot)
+            )
+        return self._slots_cache
+
     def _reallocate(self) -> None:
-        demands = [
-            FlowDemand(flow_id=t.transfer_id, links=t.links, rate_cap=t.rate_cap)
-            for t in self._active.values()
-        ]
-        rates = max_min_fair_allocation(demands, self._capacity)
-        for transfer in self._active.values():
-            rate = rates.get(transfer.transfer_id, 0.0)
-            if not math.isfinite(rate):
-                # Loopback / uncapped transfer: complete at local-memory speed.
-                rate = 100e9
-            transfer.rate = rate
+        rates = self._flows.solve()
+        slots = self._active_slots()
+        allocated = rates[slots]
+        # Loopback / uncapped transfers: complete at local-memory speed.
+        np.copyto(allocated, LOOPBACK_RATE, where=~np.isfinite(allocated))
+        self._rate[slots] = allocated
         self._dirty = False
 
     def rates(self) -> Dict[int, float]:
         """Current allocation ``transfer_id -> bytes/second``."""
         if self._dirty:
             self._reallocate()
-        return {tid: t.rate for tid, t in self._active.items()}
+        return {tid: float(self._rate[t._slot]) for tid, t in self._active.items()}
+
+    def transferred_for(self, slots: np.ndarray) -> np.ndarray:
+        """Bulk read of transferred bytes for the given slots (hot path)."""
+        return self._size[slots] - self._remaining[slots]
 
     # ------------------------------------------------------------------ #
     # time-stepped mode
@@ -166,29 +260,34 @@ class FluidNetwork:
                 raise RuntimeError("fluid advance failed to converge")
             if self._dirty:
                 self._reallocate()
+            slots = self._active_slots()
+            rates = self._rate[slots]
+            remaining = self._remaining[slots]
             # Earliest completion within the remaining step, if any.
-            next_completion = remaining_dt
-            for transfer in self._active.values():
-                if transfer.rate > 1e-12:
-                    eta = transfer.remaining / transfer.rate
-                    next_completion = min(next_completion, eta)
-            step = max(min(next_completion, remaining_dt), 0.0)
+            moving = rates > 1e-12
+            if moving.any():
+                eta = (remaining[moving] / rates[moving]).min()
+                next_completion = min(float(eta), remaining_dt)
+            else:
+                next_completion = remaining_dt
+            step = max(next_completion, 0.0)
             if step <= 1e-15:
                 step = min(remaining_dt, 1e-9)
-            for transfer in self._active.values():
-                transfer.transferred = min(
-                    transfer.size, transfer.transferred + transfer.rate * step
-                )
+            credited = remaining - rates * step
+            np.maximum(credited, 0.0, out=credited)
+            self._remaining[slots] = credited
             self.now += step
             remaining_dt -= step
-            newly_done = [t for t in self._active.values() if t.done]
-            for transfer in newly_done:
+            done = np.flatnonzero(credited <= 1e-9)
+            for position in done:
+                transfer = self._by_slot[int(slots[position])]
                 transfer.finish_time = self.now
+                self._remaining[transfer._slot] = 0.0
+                self._detach(transfer)
                 del self._active[transfer.transfer_id]
                 self.completed.append(transfer)
                 finished.append(transfer)
-                self._dirty = True
-            if newly_done:
+            if done.size:
                 continue
             if step >= remaining_dt - 1e-15:
                 break
@@ -214,16 +313,15 @@ class FluidNetwork:
                 raise RuntimeError("run_until_complete exceeded event budget")
             if self._dirty:
                 self._reallocate()
-            etas = [
-                t.remaining / t.rate if t.rate > 1e-12 else float("inf")
-                for t in self._active.values()
-            ]
-            eta = min(etas)
-            if not math.isfinite(eta):
+            slots = self._active_slots()
+            rates = self._rate[slots]
+            moving = rates > 1e-12
+            if not moving.any():
                 raise RuntimeError(
                     "active transfers have zero allocated rate; topology is "
                     "disconnected or capacities are malformed"
                 )
+            eta = float((self._remaining[slots][moving] / rates[moving]).min())
             self.advance(min(eta, max_time - self.now))
         return self.now
 

@@ -11,15 +11,63 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.network.topology import Link, Topology, TopologyError
 
 
 class RoutingTable:
-    """All-pairs host routes, computed lazily per source element."""
+    """All-pairs host routes, computed lazily per source element.
+
+    Besides the name-based routes, the table maintains a dense integer index
+    over the topology's links (:attr:`link_index`) and interns each route as
+    an immutable ``int32`` array of link indices (:meth:`route_indices`).
+    The fluid engine keeps only these interned arrays, so route lookups and
+    flow-set updates never touch link-name strings on the hot path.
+    """
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._paths: Dict[str, Dict[str, List[str]]] = {}
+        links = topology.links
+        #: ``link name -> dense index`` in topology declaration order.
+        self.link_index: Dict[str, int] = {
+            link.name: i for i, link in enumerate(links)
+        }
+        self._capacity_vector = np.array(
+            [link.capacity for link in links], dtype=np.float64
+        )
+        self._index_routes: Dict[Tuple[str, str], np.ndarray] = {}
+        self._name_routes: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    def capacity_vector(self) -> np.ndarray:
+        """Per-link capacities aligned with :attr:`link_index` (a copy)."""
+        return self._capacity_vector.copy()
+
+    def route_indices(self, src: str, dst: str) -> np.ndarray:
+        """The route as an interned, read-only array of dense link indices.
+
+        Repeated calls for the same pair return the same array object, so
+        route storage across thousands of transfers costs one array per pair.
+        """
+        key = (src, dst)
+        cached = self._index_routes.get(key)
+        if cached is None:
+            index = self.link_index
+            cached = np.array(
+                [index[name] for name in self.route(src, dst)], dtype=np.int32
+            )
+            cached.setflags(write=False)
+            self._index_routes[key] = cached
+        return cached
+
+    def route_tuple(self, src: str, dst: str) -> Tuple[str, ...]:
+        """The route as an interned tuple of link names (no per-call copy)."""
+        key = (src, dst)
+        cached = self._name_routes.get(key)
+        if cached is None:
+            cached = self._name_routes[key] = tuple(self.route(src, dst))
+        return cached
 
     def _dijkstra(self, source: str) -> Dict[str, List[str]]:
         """Return, for every reachable element, the list of link names from ``source``."""

@@ -48,26 +48,38 @@ class Event:
     order: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so that it will be skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` objects."""
+    """Binary-heap priority queue of :class:`Event` objects.
+
+    The number of live (non-cancelled) events is tracked with a counter
+    maintained on push/pop/cancel, so ``len(queue)`` is O(1) instead of a
+    full heap scan — simulations poll :attr:`Simulator.pending` freely.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Insert a callback at ``time`` and return the event handle."""
         event = Event(time=time, order=next(self._counter), callback=callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -75,6 +87,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None
                 return event
         return None
 
@@ -87,7 +101,10 @@ class EventQueue:
         return self._heap[0].time
 
     def clear(self) -> None:
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
 
 
 class Simulator:
