@@ -11,6 +11,15 @@ Usage::
     python benchmarks/run_benchmarks.py --output BENCH_PR1.json
     python benchmarks/run_benchmarks.py -k "broadcast or solver" -o out.json
     python benchmarks/run_benchmarks.py --compare BENCH_PR0.json -o BENCH_PR1.json
+
+    # time registered scenarios directly (see `python -m repro list`),
+    # optionally through the process-pool campaign executor
+    python benchmarks/run_benchmarks.py --scenario B-G-T --scenario fig13 \
+        --executor process -o out.json
+
+Every emitted row records which campaign-executor backend produced it
+(``executor``); ``--executor process`` routes the pytest benchmarks through
+the process pool too, via the ``REPRO_EXECUTOR`` environment variable.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ def git_commit() -> str:
         return "unknown"
 
 
-def run_suite(select: str | None, raw_json: Path) -> int:
+def run_suite(select: str | None, raw_json: Path, executor: str, workers: int | None) -> int:
     command = [
         sys.executable,
         "-m",
@@ -54,28 +63,19 @@ def run_suite(select: str | None, raw_json: Path) -> int:
     env["PYTHONPATH"] = env_path + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    # The experiment runners resolve their default campaign executor from
+    # the environment, so one variable switches the whole suite's backend.
+    env["REPRO_EXECUTOR"] = executor
+    if workers:
+        env["REPRO_EXECUTOR_WORKERS"] = str(workers)
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
-def normalize(raw_json: Path) -> dict:
+def metadata() -> dict:
     import numpy
 
     from benchmarks.conftest import ITERATIONS, NUM_FRAGMENTS, PER_SITE, SEED
 
-    raw = json.loads(raw_json.read_text())
-    benchmarks = []
-    for entry in raw.get("benchmarks", []):
-        stats = entry["stats"]
-        benchmarks.append(
-            {
-                "name": entry["name"],
-                "file": entry.get("fullname", "").split("::")[0],
-                "wall_clock_s": stats["mean"],
-                "stddev_s": stats["stddev"],
-                "rounds": stats["rounds"],
-            }
-        )
-    benchmarks.sort(key=lambda item: item["name"])
     return {
         "schema": "repro-bench-v1",
         "commit": git_commit(),
@@ -92,8 +92,56 @@ def normalize(raw_json: Path) -> dict:
             "cpu_count": multiprocessing.cpu_count(),
             "platform": platform.platform(),
         },
-        "benchmarks": benchmarks,
     }
+
+
+def normalize(raw_json: Path, executor: str) -> dict:
+    raw = json.loads(raw_json.read_text())
+    benchmarks = []
+    for entry in raw.get("benchmarks", []):
+        stats = entry["stats"]
+        benchmarks.append(
+            {
+                "name": entry["name"],
+                "file": entry.get("fullname", "").split("::")[0],
+                "wall_clock_s": stats["mean"],
+                "stddev_s": stats["stddev"],
+                "rounds": stats["rounds"],
+                "executor": executor,
+            }
+        )
+    benchmarks.sort(key=lambda item: item["name"])
+    return {**metadata(), "benchmarks": benchmarks}
+
+
+def run_scenarios(specs: list, executor_name: str, workers: int | None) -> dict:
+    """Time resolved scenario specs directly through the registry."""
+    import time
+
+    from repro.scenarios import executor_from_name
+
+    executor = (
+        None if executor_name == "serial"
+        else executor_from_name(executor_name, workers=workers)
+    )
+    rows = []
+    for name, spec in specs:
+        start = time.perf_counter()
+        spec.run(executor=executor)
+        elapsed = time.perf_counter() - start
+        print(f"  scenario:{name:<30s} {elapsed:8.3f}s  ({executor_name})")
+        rows.append(
+            {
+                "name": f"scenario:{name}",
+                "file": "repro/scenarios",
+                "wall_clock_s": elapsed,
+                "stddev_s": 0.0,
+                "rounds": 1,
+                "executor": executor_name,
+            }
+        )
+    rows.sort(key=lambda item: item["name"])
+    return {**metadata(), "benchmarks": rows}
 
 
 def compare(current: dict, baseline_path: Path) -> None:
@@ -120,20 +168,40 @@ def main() -> int:
                         help="pytest -k expression to run a subset")
     parser.add_argument("--compare", default=None,
                         help="prior BENCH_*.json to print speedups against")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="time this registered scenario instead of the "
+                             "pytest suite (repeatable; see `python -m repro list`)")
+    parser.add_argument("--executor", choices=("serial", "process"),
+                        default="serial",
+                        help="campaign-executor backend recorded per row")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --executor process")
     args = parser.parse_args()
 
     sys.path.insert(0, str(REPO_ROOT))
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
-        raw_json = Path(handle.name)
-    status = run_suite(args.select, raw_json)
-    if status != 0:
-        print(f"benchmark run failed with exit status {status}", file=sys.stderr)
-        return status
+    if args.scenario:
+        from repro.scenarios import get_scenario
 
-    normalized = normalize(raw_json)
-    raw_json.unlink(missing_ok=True)
+        # Resolve names first: a failure *during* a run must not be
+        # misreported as an unknown-scenario error.
+        try:
+            specs = [(name, get_scenario(name)) for name in args.scenario]
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+        normalized = run_scenarios(specs, args.executor, args.workers)
+    else:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            raw_json = Path(handle.name)
+        status = run_suite(args.select, raw_json, args.executor, args.workers)
+        if status != 0:
+            print(f"benchmark run failed with exit status {status}", file=sys.stderr)
+            return status
+        normalized = normalize(raw_json, args.executor)
+        raw_json.unlink(missing_ok=True)
     output = Path(args.output)
     output.write_text(json.dumps(normalized, indent=2, sort_keys=False) + "\n")
     print(f"wrote {output} ({len(normalized['benchmarks'])} benchmarks)")

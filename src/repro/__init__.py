@@ -16,7 +16,10 @@ The package provides:
   evaluation measures;
 * :mod:`repro.analysis` — layouts, convergence curves and rendering;
 * :mod:`repro.experiments` — the paper's named datasets and per-figure
-  runners.
+  runners;
+* :mod:`repro.scenarios` — the declarative scenario registry and the
+  pluggable campaign executors (serial / process-pool) behind
+  ``python -m repro run <scenario>``.
 
 Quickstart
 ----------
@@ -42,6 +45,15 @@ from repro.clustering.partition import Partition
 from repro.graph.wgraph import WeightedGraph
 from repro.network.grid5000 import Grid5000Builder, build_bordeaux_site, build_flat_site, build_multi_site
 from repro.network.topology import Topology
+from repro.scenarios import (
+    CampaignExecutor,
+    ProcessPoolExecutor,
+    ScenarioSpec,
+    SerialExecutor,
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -66,5 +78,12 @@ __all__ = [
     "build_flat_site",
     "build_multi_site",
     "Topology",
+    "CampaignExecutor",
+    "ProcessPoolExecutor",
+    "ScenarioSpec",
+    "SerialExecutor",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
     "__version__",
 ]

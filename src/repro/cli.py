@@ -1,160 +1,232 @@
 """Command-line interface: ``python -m repro <command> [options]``.
 
-The CLI exposes the experiment runners so that every figure of the paper can
-be regenerated without writing Python:
+The CLI is a thin shell over the scenario registry
+(:mod:`repro.scenarios`): every experiment — the paper's datasets and
+figures as well as the generated families beyond the paper — is a
+registered scenario, reachable through three generic subcommands:
 
-* ``python -m repro list-datasets`` — the available named datasets;
-* ``python -m repro run-dataset B-G-T --per-site 8 --iterations 10`` — run the
-  full two-phase method on one dataset and print the recovered clusters;
-* ``python -m repro fig4 | fig5 | fig13`` — the corresponding figure runners;
-* ``python -m repro efficiency`` — broadcast-efficiency and baseline-cost rows;
-* ``python -m repro netpipe`` — the NetPIPE reference probes.
+* ``python -m repro list`` — the registered scenarios, grouped by family;
+* ``python -m repro run B-G-T --per-site 8 --iterations 10`` — run one
+  scenario (``--executor process`` fans the campaign out over worker
+  processes, bit-for-bit identical to serial);
+* ``python -m repro sweep HETERO-UPLINK --param squeeze --values 1.0,0.5,0.2``
+  — run a scenario across a parameter grid and tabulate the outcomes.
 
-All commands print human-readable text to stdout and return a process exit
-code of 0 on success, so they compose with shell scripts.
+Every subcommand accepts ``--json <path>`` to write a machine-readable
+record of what it printed.  Commands exit 0 on success, 2 on unknown
+scenarios/parameters, so they compose with shell scripts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.visualize import ascii_cluster_table, render_fig4_bars
-from repro.experiments.datasets import DATASETS, dataset, dataset_b
-from repro.experiments.runners import (
-    run_baseline_cost,
-    run_broadcast_efficiency,
-    run_dataset_clustering,
-    run_fig4,
-    run_fig5,
-    run_fig13,
-    run_netpipe_reference,
+from repro.scenarios import (
+    EXECUTOR_NAMES,
+    all_scenarios,
+    executor_from_name,
+    families,
+    get_scenario,
+    jsonable_summary,
+)
+from repro.scenarios.spec import CAMPAIGN_PARAMS
+
+#: Keys preferred for the one-line-per-run sweep table (first ones present win).
+_SWEEP_COLUMNS = (
+    "found_clusters",
+    "expected_clusters",
+    "measured_nmi",
+    "modularity",
+    "measurement_time_s",
+    "node_scaling_ratio",
+    "size_scaling_ratio",
+    "zero_runs",
 )
 
 
-def _build_dataset(name: str, per_site: int):
-    """Instantiate a named dataset at the requested per-site scale."""
-    if name == "2x2":
-        return dataset("2x2")
-    if name == "B":
-        return dataset_b(
-            bordeplage=per_site,
-            bordereau=max(per_site - per_site // 4, 1),
-            borderline=max(per_site // 4, 1),
-        )
-    return dataset(name, per_site=per_site)
+def _parse_value(raw: str):
+    """Parse a ``--set``/``--values`` token: int, float, bool, list or str."""
+    text = raw.strip()
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part.strip())
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
 
 
-def _cmd_list_datasets(_args: argparse.Namespace) -> int:
-    print("available datasets (named as in the paper's Fig. 13):")
-    for name in DATASETS:
-        ds = _build_dataset(name, 4)
+def _parse_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ValueError(f"--set expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        overrides[key.strip().replace("-", "_")] = _parse_value(raw)
+    return overrides
+
+
+def _make_executor(args: argparse.Namespace):
+    """Executor instance for ``--executor`` (``None`` → serial inline path)."""
+    if args.executor in (None, "serial"):
+        return None
+    return executor_from_name(args.executor, workers=args.workers)
+
+
+def _write_json(path: Optional[str], payload: Dict[str, object]) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+    if args.fragments is not None:
+        kwargs["num_fragments"] = args.fragments
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.family is not None and args.family not in families():
         print(
-            f"  {name:8s} {ds.expectation.description} "
-            f"(expected clusters: {ds.expectation.expected_clusters})"
+            f"unknown family {args.family!r}; available: {', '.join(families())}",
+            file=sys.stderr,
         )
+        return 2
+    specs = all_scenarios(family=args.family)
+    listing = []
+    current_family = None
+    for spec in specs:
+        if spec.family != current_family:
+            current_family = spec.family
+            print(f"family {current_family}:")
+        print(f"  {spec.describe()}")
+        listing.append(
+            {
+                "name": spec.name,
+                "family": spec.family,
+                "kind": spec.kind,
+                "description": spec.description,
+                "tags": list(spec.tags),
+                "iterations": spec.iterations,
+                "num_fragments": spec.num_fragments,
+                "seed": spec.seed,
+            }
+        )
+    _write_json(args.json, {"command": "list", "scenarios": listing})
     return 0
 
 
-def _cmd_run_dataset(args: argparse.Namespace) -> int:
-    ds = _build_dataset(args.dataset, args.per_site)
-    summary = run_dataset_clustering(
-        ds,
-        iterations=args.iterations,
-        num_fragments=args.fragments,
-        seed=args.seed,
-        track_convergence=True,
-    )
-    result = summary["result"]
-    print(f"dataset {ds.name}: {summary['hosts']} hosts, {args.iterations} iterations")
-    print(f"clusters found: {summary['found_clusters']} "
-          f"(paper: {summary['expected_clusters']})")
-    print(f"overlapping NMI vs ground truth: {summary['measured_nmi']:.3f} "
-          f"(paper: {summary['paper_nmi']})")
-    print(f"modularity: {summary['modularity']:.3f}")
-    print(f"NMI per iteration: {[round(v, 2) for v in summary['nmi_per_iteration']]}")
-    print(f"simulated measurement time: {summary['measurement_time_s']:.1f} s")
-    print()
-    print(ascii_cluster_table(result.partition, ground_truth=ds.ground_truth))
-    return 0
-
-
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    outcome = run_fig4(
-        bordeplage=args.per_site,
-        bordereau=max(args.per_site - args.per_site // 4, 1),
-        borderline=max(args.per_site // 4, 1),
-        iterations=args.iterations,
-        num_fragments=args.fragments,
-        seed=args.seed,
-    )
-    print(f"focus host: {outcome['focus_host']} ({args.iterations} iterations)")
-    print(render_fig4_bars(outcome["local_edges"], outcome["remote_edges"]))
-    print(f"paper totals: local 22533 / remote 6337")
-    return 0
-
-
-def _cmd_fig5(args: argparse.Namespace) -> int:
-    outcome = run_fig5(
-        cluster_nodes=args.per_site * 2,
-        iterations=args.iterations,
-        num_fragments=args.fragments,
-        seed=args.seed,
-    )
-    print(f"edge {outcome['edge'][0]} -- {outcome['edge'][1]} over "
-          f"{outcome['iterations']} independent runs:")
-    print(f"  zero-fragment runs: {outcome['zero_runs']}")
-    print(f"  nonzero range: {outcome['nonzero_min']:.0f}..{outcome['nonzero_max']:.0f}")
-    print(f"  mean {outcome['mean']:.1f}, std {outcome['std']:.1f} "
-          f"(coefficient of variation {outcome['coefficient_of_variation']:.2f})")
-    print("paper: 23/36 runs zero, nonzero range 3..6304")
-    return 0
-
-
-def _cmd_fig13(args: argparse.Namespace) -> int:
-    studies = run_fig13(
-        per_site=args.per_site,
-        iterations=args.iterations,
-        num_fragments=args.fragments,
-        seed=args.seed,
-    )
-    for name, study in studies.items():
-        reached = study.iterations_to_reach(0.99)
-        print(f"{name:8s} final NMI {study.final_nmi:.2f} "
-              f"(>=0.99 after {reached if reached else '-'} iterations) "
-              f"curve {[round(v, 2) for v in study.curve]}")
-    return 0
-
-
-def _cmd_efficiency(args: argparse.Namespace) -> int:
-    broadcast = run_broadcast_efficiency(num_fragments=args.fragments, seed=args.seed)
-    print("broadcast duration by swarm size (s):")
-    for nodes, duration in sorted(broadcast["durations_by_nodes"].items()):
-        print(f"  {nodes:4d} nodes  {duration:.2f}")
-    print("broadcast duration by file size (fragments -> s):")
-    for fragments, duration in sorted(broadcast["durations_by_fragments"].items()):
-        print(f"  {fragments:5d} fragments  {duration:.2f}")
-    cost = run_baseline_cost(seed=args.seed)
-    print("measurement cost comparison (simulated seconds):")
-    for row in cost["rows"]:
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    try:
+        overrides = _parse_overrides(args.set)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.per_site is not None:
+        overrides.setdefault("per_site", args.per_site)
+    unknown = spec.unknown_overrides(overrides)
+    if unknown:
         print(
-            f"  N={row['nodes']:3d}  BitTorrent {row['bittorrent_time_s']:7.1f}   "
-            f"pairwise {row['pairwise_time_s']:7.1f} ({row['pairwise_probes']} probes)   "
-            f"triplet {row['triplet_time_s']:8.1f} ({row['triplet_probes']} probes)"
+            f"bad override for scenario {spec.name!r}: "
+            f"unknown tunables {', '.join(unknown)}",
+            file=sys.stderr,
         )
+        return 2
+    summary = spec.run(
+        executor=_make_executor(args), **_campaign_kwargs(args), **overrides
+    )
+    print(spec.format(summary))
+    _write_json(args.json, {"command": "run", **jsonable_summary(summary)})
     return 0
 
 
-def _cmd_netpipe(_args: argparse.Namespace) -> int:
-    outcome = run_netpipe_reference()
-    print(f"intra-cluster peak bandwidth: {outcome['intra_cluster_mbps']:.0f} Mb/s "
-          f"(paper: {outcome['paper_intra_cluster_mbps']:.0f})")
-    print(f"inter-site peak bandwidth:    {outcome['inter_site_mbps']:.0f} Mb/s "
-          f"(paper: {outcome['paper_inter_site_mbps']:.0f})")
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    values = _parse_value(args.values)
+    if not isinstance(values, tuple):
+        values = (values,)
+    try:
+        base_overrides = _parse_overrides(args.set)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.per_site is not None:
+        base_overrides.setdefault("per_site", args.per_site)
+    param = args.param.replace("-", "_")
+    param_is_campaign = param in CAMPAIGN_PARAMS
+    probe = dict(base_overrides)
+    if not param_is_campaign:
+        probe[param] = values[0]
+    unknown = spec.unknown_overrides(probe)
+    if unknown:
+        print(
+            f"bad sweep parameter(s) for scenario {spec.name!r}: "
+            f"unknown tunables {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+    executor = _make_executor(args)
+    rows: List[Dict[str, object]] = []
+    print(f"sweep {spec.name} over {param} = {list(values)}")
+    for value in values:
+        overrides = dict(base_overrides)
+        kwargs = _campaign_kwargs(args)
+        if param_is_campaign:
+            kwargs[param] = value
+        else:
+            overrides[param] = value
+        summary = spec.run(executor=executor, **kwargs, **overrides)
+        row = jsonable_summary(summary)
+        row[param] = value if not isinstance(value, tuple) else list(value)
+        rows.append(row)
+        cells = [f"{param}={value}"]
+        for key in _SWEEP_COLUMNS:
+            if key in row and isinstance(row[key], (int, float)):
+                cells.append(f"{key}={row[key]:.4g}")
+        print("  " + "  ".join(cells))
+    _write_json(
+        args.json,
+        {
+            "command": "sweep",
+            "scenario": spec.name,
+            "param": param,
+            "values": [list(v) if isinstance(v, tuple) else v for v in values],
+            "rows": rows,
+        },
+    )
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -163,47 +235,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_scale_args(p: argparse.ArgumentParser, iterations: int = 8) -> None:
-        p.add_argument("--per-site", type=int, default=8,
-                       help="nodes per site (paper: 32)")
-        p.add_argument("--iterations", type=int, default=iterations,
-                       help="measurement iterations (paper: 30-36)")
-        p.add_argument("--fragments", type=int, default=600,
-                       help="fragments per broadcast (paper: 15259)")
-        p.add_argument("--seed", type=int, default=2012, help="experiment seed")
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--iterations", type=int, default=None,
+                       help="measurement iterations (default: scenario's)")
+        p.add_argument("--fragments", type=int, default=None,
+                       help="fragments per broadcast (default: scenario's)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="experiment seed (default: scenario's)")
+        p.add_argument("--per-site", type=int, default=None,
+                       help="nodes per site, for scenarios that scale by site")
+        p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="extra scenario tunable (repeatable); "
+                            "comma-separated values parse as lists")
+        p.add_argument("--executor", choices=EXECUTOR_NAMES, default="serial",
+                       help="campaign backend (process = fan out over cores; "
+                            "records are bit-identical to serial)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --executor process")
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write a machine-readable record to PATH")
 
-    sub.add_parser("list-datasets", help="list the paper's named datasets")
+    list_parser = sub.add_parser("list", help="list the registered scenarios")
+    list_parser.add_argument("--family", default=None,
+                             help="only one scenario family")
+    list_parser.add_argument("--json", metavar="PATH", default=None,
+                             help="also write a machine-readable record to PATH")
 
-    run_parser = sub.add_parser("run-dataset", help="run the tomography pipeline on a dataset")
-    run_parser.add_argument("dataset", choices=sorted(DATASETS), help="dataset name")
-    add_scale_args(run_parser)
+    run_parser = sub.add_parser("run", help="run one registered scenario")
+    run_parser.add_argument("scenario", help="scenario name (see `repro list`)")
+    add_common(run_parser)
 
-    fig4 = sub.add_parser("fig4", help="per-edge metric of a fixed node (Fig. 4)")
-    add_scale_args(fig4, iterations=12)
-
-    fig5 = sub.add_parser("fig5", help="single-edge variance across runs (Fig. 5)")
-    add_scale_args(fig5, iterations=24)
-
-    fig13 = sub.add_parser("fig13", help="NMI convergence for all datasets (Fig. 13)")
-    add_scale_args(fig13, iterations=10)
-
-    efficiency = sub.add_parser("efficiency", help="broadcast efficiency and baseline cost (Sec. II-B)")
-    efficiency.add_argument("--fragments", type=int, default=400)
-    efficiency.add_argument("--seed", type=int, default=2012)
-
-    sub.add_parser("netpipe", help="NetPIPE reference bandwidths")
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a scenario across a parameter grid"
+    )
+    sweep_parser.add_argument("scenario", help="scenario name (see `repro list`)")
+    sweep_parser.add_argument("--param", required=True,
+                              help="name of the parameter to sweep")
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated parameter values")
+    add_common(sweep_parser)
 
     return parser
 
 
 _COMMANDS = {
-    "list-datasets": _cmd_list_datasets,
-    "run-dataset": _cmd_run_dataset,
-    "fig4": _cmd_fig4,
-    "fig5": _cmd_fig5,
-    "fig13": _cmd_fig13,
-    "efficiency": _cmd_efficiency,
-    "netpipe": _cmd_netpipe,
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -16,15 +16,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.convergence import ConvergenceStudy, nmi_convergence
-from repro.bittorrent.swarm import BitTorrentBroadcast, SwarmConfig
-from repro.bittorrent.torrent import TorrentMeta
 from repro.clustering.louvain import louvain
 from repro.clustering.partition import Partition
 from repro.experiments.datasets import Dataset, dataset, dataset_b
 from repro.graph.wgraph import WeightedGraph
 from repro.network.grid5000 import Grid5000Builder, build_multi_site, default_cluster_of
 from repro.network.routing import RoutingTable
-from repro.simulation.rng import RandomStreams
+from repro.scenarios.executors import (
+    BroadcastTask,
+    CampaignExecutor,
+    SerialExecutor,
+    default_executor,
+)
 from repro.tomography.baselines import (
     PairwiseSaturationTomography,
     TripletSaturationTomography,
@@ -39,6 +42,11 @@ def _default_clusterer(graph: WeightedGraph) -> Partition:
     return louvain(graph).partition
 
 
+def _resolve_executor(executor: Optional[CampaignExecutor]) -> Optional[CampaignExecutor]:
+    """Explicit executor, else the environment's default (usually ``None``)."""
+    return executor if executor is not None else default_executor()
+
+
 # ---------------------------------------------------------------------- #
 # generic dataset clustering (Figs. 8-12 and the 2x2 experiment)
 # ---------------------------------------------------------------------- #
@@ -48,6 +56,8 @@ def run_dataset_clustering(
     num_fragments: int = 600,
     seed: int = 7,
     track_convergence: bool = False,
+    rotate_root: bool = False,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Run the full tomography pipeline on a dataset and summarise the outcome."""
     pipeline = TomographyPipeline(
@@ -56,6 +66,8 @@ def run_dataset_clustering(
         ground_truth=ds.ground_truth,
         config=default_swarm_config(num_fragments),
         seed=seed,
+        rotate_root=rotate_root,
+        executor=_resolve_executor(executor),
     )
     result = pipeline.run(iterations, track_convergence=track_convergence)
     return {
@@ -71,6 +83,7 @@ def run_dataset_clustering(
         "measurement_time_s": result.measurement_time,
         "nmi_per_iteration": result.nmi_per_iteration,
         "result": result,
+        "ground_truth": ds.ground_truth,
     }
 
 
@@ -80,6 +93,7 @@ def run_named_dataset(
     iterations: int = 8,
     num_fragments: int = 600,
     seed: int = 7,
+    executor: Optional[CampaignExecutor] = None,
     **dataset_kwargs,
 ) -> Dict[str, object]:
     """Convenience wrapper: build a named dataset (optionally scaled) and run it."""
@@ -96,7 +110,11 @@ def run_named_dataset(
     else:
         ds = dataset(name, **dataset_kwargs)
     return run_dataset_clustering(
-        ds, iterations=iterations, num_fragments=num_fragments, seed=seed
+        ds,
+        iterations=iterations,
+        num_fragments=num_fragments,
+        seed=seed,
+        executor=executor,
     )
 
 
@@ -111,6 +129,7 @@ def run_fig4(
     num_fragments: int = 600,
     seed: int = 3,
     focus_host: Optional[str] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Metric values for all edges of a fixed node, split local vs remote.
 
@@ -125,6 +144,7 @@ def run_fig4(
         ground_truth=ds.ground_truth,
         config=default_swarm_config(num_fragments),
         seed=seed,
+        executor=_resolve_executor(executor),
     )
     result = pipeline.run(iterations, track_convergence=False)
     if focus_host is None:
@@ -160,6 +180,7 @@ def run_fig5(
     iterations: int = 36,
     num_fragments: int = 400,
     seed: int = 11,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Distribution of ``w(e)`` for one intra-cluster edge over independent runs.
 
@@ -171,7 +192,11 @@ def run_fig5(
     topology = builder.build_single_site("bordeaux", {"bordereau": cluster_nodes})
     hosts = topology.host_names
     campaign = MeasurementCampaign(
-        topology, default_swarm_config(num_fragments), hosts=hosts, seed=seed
+        topology,
+        default_swarm_config(num_fragments),
+        hosts=hosts,
+        seed=seed,
+        executor=_resolve_executor(executor),
     )
     record = campaign.run(iterations)
     # A fixed edge between two non-root nodes of the same cluster.
@@ -203,6 +228,7 @@ def run_fig13(
     iterations: int = 12,
     num_fragments: int = 500,
     seed: int = 5,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, ConvergenceStudy]:
     """NMI-vs-iterations curves for the Fig. 13 datasets (scaled down)."""
     names = list(datasets) if datasets is not None else ["B", "B-T", "G-T", "B-G-T", "B-G-T-L"]
@@ -221,6 +247,7 @@ def run_fig13(
             default_swarm_config(num_fragments),
             hosts=ds.hosts,
             seed=seed,
+            executor=_resolve_executor(executor),
         )
         record = campaign.run(iterations)
         studies[name] = ConvergenceStudy.from_record(
@@ -237,15 +264,22 @@ def run_broadcast_efficiency(
     num_fragments: int = 400,
     sites: Sequence[str] = ("bordeaux", "grenoble", "toulouse", "lyon"),
     seed: int = 13,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Broadcast completion time as a function of swarm size and file size.
 
     The paper reports ~20 s for 32, 64 and 128 nodes spread over up to 4
     sites, i.e. roughly constant in the node count and linear in the message
     size.  The same two shapes are measured here on the simulator.
+
+    Every measured broadcast is an independent seeded task (its stream is
+    derived from ``seed`` and a per-broadcast label), so the whole sweep
+    fans out through the campaign executor — across topologies, not just
+    within one campaign.
     """
-    durations: Dict[int, float] = {}
-    streams = RandomStreams(seed)
+    executor = _resolve_executor(executor) or SerialExecutor()
+    tasks: List[BroadcastTask] = []
+    node_hosts: List[int] = []
     for count in node_counts:
         per_site = max(count // len(sites), 1)
         request = {
@@ -253,19 +287,34 @@ def run_broadcast_efficiency(
         }
         topology = build_multi_site(request)
         config = default_swarm_config(num_fragments)
-        broadcast = BitTorrentBroadcast(topology, config)
-        result = broadcast.run(rng=streams.stream("nodes", count))
-        durations[len(topology.host_names)] = result.duration
+        node_hosts.append(len(topology.host_names))
+        tasks.append(
+            BroadcastTask(
+                topology, config, None, seed, ((("nodes", count), None),)
+            )
+        )
 
     # Linear-in-size check on a fixed 4-site topology.
     request = {site: {default_cluster_of(site): 4} for site in sites}
-    topology = build_multi_site(request)
-    size_durations: Dict[int, float] = {}
-    for fragments in (num_fragments // 2, num_fragments, num_fragments * 2):
+    size_topology = build_multi_site(request)
+    fragment_counts = (num_fragments // 2, num_fragments, num_fragments * 2)
+    for fragments in fragment_counts:
         config = default_swarm_config(fragments)
-        broadcast = BitTorrentBroadcast(topology, config)
-        result = broadcast.run(rng=streams.stream("fragments", fragments))
-        size_durations[fragments] = result.duration
+        tasks.append(
+            BroadcastTask(
+                size_topology, config, None, seed, ((("fragments", fragments), None),)
+            )
+        )
+
+    results = executor.run_tasks(tasks)
+    durations: Dict[int, float] = {
+        hosts: result.duration
+        for hosts, result in zip(node_hosts, results[: len(node_hosts)])
+    }
+    size_durations: Dict[int, float] = {
+        fragments: result.duration
+        for fragments, result in zip(fragment_counts, results[len(node_hosts) :])
+    }
 
     counts = sorted(durations)
     ratio_nodes = durations[counts[-1]] / durations[counts[0]]
@@ -289,6 +338,7 @@ def run_baseline_cost(
     num_fragments: int = 300,
     bt_iterations: int = 4,
     seed: int = 17,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Measurement cost of the BitTorrent method vs the saturation baselines.
 
@@ -308,7 +358,11 @@ def run_baseline_cost(
         hosts = topology.host_names
 
         campaign = MeasurementCampaign(
-            topology, default_swarm_config(num_fragments), hosts=hosts, seed=seed
+            topology,
+            default_swarm_config(num_fragments),
+            hosts=hosts,
+            seed=seed,
+            executor=_resolve_executor(executor),
         )
         record = campaign.run(bt_iterations)
         bt_time = record.total_measurement_time()

@@ -1,0 +1,378 @@
+"""The built-in scenario catalogue.
+
+Everything the old hand-written CLI could run is registered here as a
+declarative spec — the paper's named datasets (family ``paper``), the
+per-figure experiment runners (family ``figure``) — plus the generated
+families that go beyond the paper's menu (``fat-tree``,
+``random-bottleneck``, ``hetero-uplink``, and the hierarchical ``extension``
+setting).  Import side effects populate :mod:`repro.scenarios.registry`;
+this module is imported by ``repro.scenarios.__init__`` so any entry point
+that touches the registry sees the full catalogue.
+
+Campaign parameter defaults are the laptop-scale values the previous CLI
+used (8 nodes per site, 600 fragments, seed 2012); the paper-scale settings
+(32 per site, 15 259 fragments) remain reachable through overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.visualize import ascii_cluster_table, render_fig4_bars
+from repro.experiments.datasets import (
+    Dataset,
+    dataset,
+    dataset_2x2,
+    dataset_b,
+    dataset_nested,
+)
+from repro.experiments.runners import (
+    run_baseline_cost,
+    run_broadcast_efficiency,
+    run_fig4,
+    run_fig5,
+    run_fig13,
+    run_netpipe_reference,
+)
+from repro.scenarios.registry import runner_scenario, scenario
+from repro.scenarios.topologies import (
+    fat_tree_dataset,
+    hetero_uplink_dataset,
+    random_bottleneck_dataset,
+)
+
+#: Laptop-scale default for paper datasets (the paper itself runs 32).
+DEFAULT_PER_SITE = 8
+
+
+def _bordeaux_split(per_site: int) -> Dict[str, int]:
+    """The B-dataset cluster split used at reduced scale (CLI convention)."""
+    return {
+        "bordeplage": per_site,
+        "bordereau": max(per_site - per_site // 4, 1),
+        "borderline": max(per_site // 4, 1),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# formatters (terminal rendering of summary dicts)
+# ---------------------------------------------------------------------- #
+def format_campaign(summary: Dict[str, object]) -> str:
+    """Human rendering of a measure→cluster→evaluate campaign summary."""
+    lines = [
+        f"scenario {summary['scenario']} (family {summary['family']}, "
+        f"executor {summary['executor']})",
+        f"dataset {summary['dataset']}: {summary['hosts']} hosts, "
+        f"{summary['iterations']} iterations",
+        f"clusters found: {summary['found_clusters']} "
+        f"(expected: {summary['expected_clusters']})",
+    ]
+    if summary.get("measured_nmi") is not None:
+        lines.append(
+            f"overlapping NMI vs ground truth: {summary['measured_nmi']:.3f} "
+            f"(paper/model: {summary['paper_nmi']})"
+        )
+    lines.append(f"modularity: {summary['modularity']:.3f}")
+    curve = summary.get("nmi_per_iteration") or []
+    if curve:
+        lines.append(f"NMI per iteration: {[round(v, 2) for v in curve]}")
+    lines.append(
+        f"simulated measurement time: {summary['measurement_time_s']:.1f} s"
+    )
+    result = summary.get("result")
+    truth = summary.get("ground_truth")
+    if result is not None:
+        lines.append("")
+        lines.append(ascii_cluster_table(result.partition, ground_truth=truth))
+    return "\n".join(lines)
+
+
+def _format_fig4(summary: Dict[str, object]) -> str:
+    lines = [
+        f"focus host: {summary['focus_host']} ({summary['iterations']} iterations)",
+        render_fig4_bars(summary["local_edges"], summary["remote_edges"]),
+        "paper totals: local 22533 / remote 6337",
+    ]
+    return "\n".join(lines)
+
+
+def _format_fig5(summary: Dict[str, object]) -> str:
+    u, v = summary["edge"]
+    return "\n".join(
+        [
+            f"edge {u} -- {v} over {summary['iterations']} independent runs:",
+            f"  zero-fragment runs: {summary['zero_runs']}",
+            f"  nonzero range: {summary['nonzero_min']:.0f}..{summary['nonzero_max']:.0f}",
+            f"  mean {summary['mean']:.1f}, std {summary['std']:.1f} "
+            f"(coefficient of variation {summary['coefficient_of_variation']:.2f})",
+            "paper: 23/36 runs zero, nonzero range 3..6304",
+        ]
+    )
+
+
+def _format_fig13(summary: Dict[str, object]) -> str:
+    lines = []
+    for name, study in summary.items():
+        if not hasattr(study, "curve"):
+            continue
+        reached = study.iterations_to_reach(0.99)
+        lines.append(
+            f"{name:8s} final NMI {study.final_nmi:.2f} "
+            f"(>=0.99 after {reached if reached else '-'} iterations) "
+            f"curve {[round(v, 2) for v in study.curve]}"
+        )
+    return "\n".join(lines)
+
+
+def _format_efficiency(summary: Dict[str, object]) -> str:
+    lines = ["broadcast duration by swarm size (s):"]
+    for nodes, duration in sorted(summary["durations_by_nodes"].items()):
+        lines.append(f"  {nodes:4d} nodes  {duration:.2f}")
+    lines.append("broadcast duration by file size (fragments -> s):")
+    for fragments, duration in sorted(summary["durations_by_fragments"].items()):
+        lines.append(f"  {fragments:5d} fragments  {duration:.2f}")
+    return "\n".join(lines)
+
+
+def _format_baseline(summary: Dict[str, object]) -> str:
+    lines = ["measurement cost comparison (simulated seconds):"]
+    for row in summary["rows"]:
+        lines.append(
+            f"  N={row['nodes']:3d}  BitTorrent {row['bittorrent_time_s']:7.1f}   "
+            f"pairwise {row['pairwise_time_s']:7.1f} ({row['pairwise_probes']} probes)   "
+            f"triplet {row['triplet_time_s']:8.1f} ({row['triplet_probes']} probes)"
+        )
+    return "\n".join(lines)
+
+
+def _format_netpipe(summary: Dict[str, object]) -> str:
+    return "\n".join(
+        [
+            f"intra-cluster peak bandwidth: {summary['intra_cluster_mbps']:.0f} Mb/s "
+            f"(paper: {summary['paper_intra_cluster_mbps']:.0f})",
+            f"inter-site peak bandwidth:    {summary['inter_site_mbps']:.0f} Mb/s "
+            f"(paper: {summary['paper_inter_site_mbps']:.0f})",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the paper's named datasets (Fig. 8-13 and the 2x2 experiment)
+# ---------------------------------------------------------------------- #
+@scenario("2x2", family="paper", formatter=format_campaign,
+          description="2 Bordeplage + 2 Borderline nodes, one logical cluster")
+def _scenario_2x2() -> Dataset:
+    return dataset_2x2()
+
+
+@scenario("B", family="paper", formatter=format_campaign,
+          description="Bordeaux only; Bordeplage split off by the 1 GbE bottleneck")
+def _scenario_b(per_site: int = DEFAULT_PER_SITE) -> Dataset:
+    return dataset_b(**_bordeaux_split(per_site))
+
+
+@scenario("B-T", family="paper", formatter=format_campaign,
+          description="Bordeaux + Toulouse; single-level clustering caps at NMI ≈ 0.7")
+def _scenario_bt(per_site: int = DEFAULT_PER_SITE) -> Dataset:
+    return dataset("B-T", per_site=per_site)
+
+
+@scenario("G-T", family="paper", formatter=format_campaign,
+          description="Grenoble + Toulouse, two flat sites")
+def _scenario_gt(per_site: int = DEFAULT_PER_SITE) -> Dataset:
+    return dataset("G-T", per_site=per_site)
+
+
+@scenario("B-G-T", family="paper", formatter=format_campaign,
+          description="Bordeaux (well-connected part) + Grenoble + Toulouse")
+def _scenario_bgt(per_site: int = DEFAULT_PER_SITE) -> Dataset:
+    return dataset("B-G-T", per_site=per_site)
+
+
+@scenario("B-G-T-L", family="paper", formatter=format_campaign,
+          description="four sites, slowest to converge (~15 iterations in the paper)")
+def _scenario_bgtl(per_site: int = DEFAULT_PER_SITE) -> Dataset:
+    return dataset("B-G-T-L", per_site=per_site)
+
+
+@scenario("NESTED", family="extension", formatter=format_campaign,
+          description="two-level hierarchy (future-work extension of the paper)")
+def _scenario_nested(alpha: int = 6, beta: int = 6, gamma: int = 12) -> Dataset:
+    return dataset_nested(alpha=alpha, beta=beta, gamma=gamma)
+
+
+# ---------------------------------------------------------------------- #
+# per-figure experiment runners
+# ---------------------------------------------------------------------- #
+@runner_scenario("fig4", family="figure", iterations=12, formatter=_format_fig4,
+                 description="per-edge metric of a fixed node, local vs remote (Fig. 4)")
+def _scenario_fig4(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = DEFAULT_PER_SITE,
+    focus_host: Optional[str] = None,
+):
+    return run_fig4(
+        iterations=iterations,
+        num_fragments=num_fragments,
+        seed=seed,
+        focus_host=focus_host,
+        executor=executor,
+        **_bordeaux_split(per_site),
+    )
+
+
+@runner_scenario("fig5", family="figure", iterations=24, formatter=_format_fig5,
+                 description="single-edge variance across independent runs (Fig. 5)")
+def _scenario_fig5(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = DEFAULT_PER_SITE,
+):
+    return run_fig5(
+        cluster_nodes=per_site * 2,
+        iterations=iterations,
+        num_fragments=num_fragments,
+        seed=seed,
+        executor=executor,
+    )
+
+
+@runner_scenario("fig13", family="figure", iterations=10, formatter=_format_fig13,
+                 description="NMI convergence for all paper datasets (Fig. 13)")
+def _scenario_fig13(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = DEFAULT_PER_SITE,
+    datasets: Optional[Tuple[str, ...]] = None,
+):
+    return run_fig13(
+        datasets=datasets,
+        per_site=per_site,
+        iterations=iterations,
+        num_fragments=num_fragments,
+        seed=seed,
+        executor=executor,
+    )
+
+
+@runner_scenario("broadcast-efficiency", family="figure", num_fragments=400,
+                 formatter=_format_efficiency,
+                 description="broadcast completion vs swarm and file size (Sec. II-B)")
+def _scenario_efficiency(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    node_counts: Tuple[int, ...] = (8, 16, 32),
+):
+    return run_broadcast_efficiency(
+        node_counts=tuple(int(c) for c in node_counts),
+        num_fragments=num_fragments,
+        seed=seed,
+        executor=executor,
+    )
+
+
+@runner_scenario("baseline-cost", family="figure", iterations=4, num_fragments=300,
+                 formatter=_format_baseline,
+                 description="measurement cost vs saturation baselines (Sec. II-B)")
+def _scenario_baseline(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    node_counts: Tuple[int, ...] = (6, 10, 14),
+    probe_size: float = 16e6,
+):
+    return run_baseline_cost(
+        node_counts=tuple(int(c) for c in node_counts),
+        probe_size=probe_size,
+        num_fragments=num_fragments,
+        bt_iterations=iterations,
+        seed=seed,
+        executor=executor,
+    )
+
+
+@runner_scenario("netpipe", family="figure", formatter=_format_netpipe,
+                 description="NetPIPE reference bandwidths (Sec. II-C / IV-A)")
+def _scenario_netpipe(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    repeats: int = 5,
+):
+    return run_netpipe_reference(repeats=repeats)
+
+
+# ---------------------------------------------------------------------- #
+# generated families beyond the paper
+# ---------------------------------------------------------------------- #
+@scenario("FATTREE-4x4", family="fat-tree", formatter=format_campaign,
+          tags=("beyond-paper", "sweepable"),
+          description="4 racks x 4 hosts, 4:1 oversubscribed edge uplinks")
+def _scenario_fattree(
+    racks: int = 4, hosts_per_rack: int = 4, oversubscription: float = 4.0
+) -> Dataset:
+    return fat_tree_dataset(
+        racks=racks, hosts_per_rack=hosts_per_rack, oversubscription=oversubscription
+    )
+
+
+@scenario("FATTREE-NB", family="fat-tree", formatter=format_campaign,
+          tags=("beyond-paper",),
+          description="non-blocking fat-tree control: no contrast, one cluster")
+def _scenario_fattree_nb(racks: int = 4, hosts_per_rack: int = 4) -> Dataset:
+    return fat_tree_dataset(
+        racks=racks, hosts_per_rack=hosts_per_rack, oversubscription=1.0
+    )
+
+
+@scenario("RANDBOT-1", family="random-bottleneck", formatter=format_campaign,
+          tags=("beyond-paper", "sweepable"),
+          description="random bottleneck placement, layout seed 1")
+def _scenario_randbot1(
+    clusters: int = 5,
+    hosts_per_cluster: int = 4,
+    num_bottlenecks: int = 2,
+    layout_seed: int = 1,
+) -> Dataset:
+    return random_bottleneck_dataset(
+        clusters=clusters,
+        hosts_per_cluster=hosts_per_cluster,
+        num_bottlenecks=num_bottlenecks,
+        layout_seed=layout_seed,
+    )
+
+
+@scenario("RANDBOT-2", family="random-bottleneck", formatter=format_campaign,
+          tags=("beyond-paper",),
+          description="random bottleneck placement, layout seed 2")
+def _scenario_randbot2(
+    clusters: int = 5,
+    hosts_per_cluster: int = 4,
+    num_bottlenecks: int = 2,
+) -> Dataset:
+    return random_bottleneck_dataset(
+        clusters=clusters,
+        hosts_per_cluster=hosts_per_cluster,
+        num_bottlenecks=num_bottlenecks,
+        layout_seed=2,
+    )
+
+
+@scenario("HETERO-UPLINK", family="hetero-uplink", formatter=format_campaign,
+          tags=("beyond-paper", "sweepable"),
+          description="three sites with heterogeneously provisioned Renater uplinks")
+def _scenario_hetero(
+    per_site: int = 6, squeeze: float = 1.0
+) -> Dataset:
+    return hetero_uplink_dataset(per_site=per_site, squeeze=squeeze)

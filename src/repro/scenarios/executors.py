@@ -1,0 +1,224 @@
+"""Campaign executors: pluggable backends for independent seeded broadcasts.
+
+A measurement campaign is a sequence of *independent* instrumented
+broadcasts: iteration ``i`` draws from its own random stream, derived
+statelessly from the base seed and the label ``("broadcast", i)`` (see
+:mod:`repro.simulation.rng`).  Nothing couples one iteration to the next, so
+the campaign is embarrassingly parallel — as long as the per-iteration
+streams and the record order are preserved, a parallel run is bit-for-bit
+identical to the serial one.
+
+This module makes that fan-out explicit:
+
+* :class:`BroadcastTask` — a picklable chunk of per-seed broadcasts sharing
+  one topology/config (the unit of work shipped to a backend);
+* :class:`CampaignExecutor` — the backend interface;
+* :class:`SerialExecutor` — runs chunks in-process (the reference backend);
+* :class:`ProcessPoolExecutor` — fans chunks out across worker processes.
+
+Executors are injected into :class:`~repro.tomography.measurement
+.MeasurementCampaign` and :class:`~repro.tomography.pipeline
+.TomographyPipeline`; ``tests/test_executors.py`` pins the bit-for-bit
+equality between backends.  On a single-core box the process pool only adds
+overhead — the point is that campaign wall-clock scales ~linearly with cores
+on real hardware without touching the experiment code.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent import futures
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
+from repro.network.topology import Topology
+from repro.simulation.rng import RandomStreams
+
+#: One broadcast of a task: the random-stream label path (relative to the
+#: task's base seed) and the seeding root (``None`` → first host).
+IterationSpec = Tuple[Tuple[object, ...], Optional[str]]
+
+#: Environment variable naming the default backend (``serial``/``process``).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Environment variable overriding the process-pool worker count.
+WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
+
+
+@dataclass(frozen=True)
+class BroadcastTask:
+    """A chunk of independent seeded broadcasts on one topology.
+
+    Everything needed to replay the broadcasts is carried by value (the task
+    must survive pickling into a worker process): the substrate, the swarm
+    configuration, the participating hosts, the base seed, and one
+    :data:`IterationSpec` per broadcast.  The worker derives each broadcast's
+    generator as ``RandomStreams(base_seed).stream(*labels)`` — the same
+    stateless derivation the serial path uses, which is what makes parallel
+    execution bit-for-bit identical.
+    """
+
+    topology: Topology
+    config: SwarmConfig
+    hosts: Optional[Tuple[str, ...]]
+    base_seed: int
+    specs: Tuple[IterationSpec, ...]
+
+
+def execute_task(task: BroadcastTask) -> List[BroadcastResult]:
+    """Run every broadcast of a task in order (the worker entry point).
+
+    The :class:`BitTorrentBroadcast` (and its routing table) is built once
+    per task, mirroring the serial campaign's reuse across iterations.
+    """
+    broadcast = BitTorrentBroadcast(
+        task.topology,
+        task.config,
+        hosts=list(task.hosts) if task.hosts is not None else None,
+    )
+    streams = RandomStreams(task.base_seed)
+    return [
+        broadcast.run(root=root, rng=streams.stream(*labels))
+        for labels, root in task.specs
+    ]
+
+
+class CampaignExecutor:
+    """Backend interface for running independent seeded broadcasts.
+
+    Subclasses implement :meth:`run_tasks`; the convenience entry point
+    :meth:`run_broadcasts` chunks a homogeneous campaign (one topology, many
+    iteration specs) into tasks according to the backend's parallelism and
+    returns the flattened results in spec order.
+    """
+
+    #: Backend name recorded in CLI/benchmark output.
+    name = "abstract"
+
+    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
+        """Run tasks (possibly concurrently) and return results in task order."""
+        raise NotImplementedError
+
+    def chunk_specs(
+        self, specs: Sequence[IterationSpec]
+    ) -> List[Tuple[IterationSpec, ...]]:
+        """Split iteration specs into contiguous per-task chunks."""
+        return [tuple(specs)] if specs else []
+
+    def run_broadcasts(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]],
+        base_seed: int,
+        specs: Sequence[IterationSpec],
+    ) -> List[BroadcastResult]:
+        """Run one campaign's broadcasts, preserving spec order in the output."""
+        host_tuple = tuple(hosts) if hosts is not None else None
+        tasks = [
+            BroadcastTask(topology, config, host_tuple, base_seed, chunk)
+            for chunk in self.chunk_specs(list(specs))
+        ]
+        return self.run_tasks(tasks)
+
+
+class SerialExecutor(CampaignExecutor):
+    """Run every task in-process, one broadcast after another."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
+        results: List[BroadcastResult] = []
+        for task in tasks:
+            results.extend(execute_task(task))
+        return results
+
+
+class ProcessPoolExecutor(CampaignExecutor):
+    """Fan tasks out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Broadcasts per task; defaults to an even split across workers
+        (contiguous chunks, so results reassemble in iteration order by
+        construction).
+
+    Determinism: each broadcast's random stream is derived from the base
+    seed and its own label inside the worker, and chunks are mapped back in
+    submission order, so the resulting record is byte-identical to
+    :class:`SerialExecutor`'s regardless of worker scheduling.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+
+    def chunk_specs(
+        self, specs: Sequence[IterationSpec]
+    ) -> List[Tuple[IterationSpec, ...]]:
+        if not specs:
+            return []
+        size = self.chunk_size or math.ceil(len(specs) / self.workers)
+        return [tuple(specs[i : i + size]) for i in range(0, len(specs), size)]
+
+    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            # A single chunk gains nothing from a pool; skip the fork.
+            return execute_task(tasks[0])
+        max_workers = min(self.workers, len(tasks))
+        with futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            nested = list(pool.map(execute_task, tasks))
+        return [result for chunk in nested for result in chunk]
+
+
+#: Known backends, keyed by the names accepted on the CLI and in the
+#: :data:`EXECUTOR_ENV` environment variable.
+EXECUTOR_NAMES = ("serial", "process")
+
+
+def executor_from_name(
+    name: Optional[str],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignExecutor:
+    """Instantiate a backend by name (``None``/empty → serial)."""
+    key = (name or "serial").strip().lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key == "process":
+        return ProcessPoolExecutor(workers=workers, chunk_size=chunk_size)
+    raise ValueError(
+        f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+    )
+
+
+def default_executor() -> Optional[CampaignExecutor]:
+    """Backend selected by the environment, or ``None`` for the serial path.
+
+    ``REPRO_EXECUTOR=process`` (optionally with ``REPRO_EXECUTOR_WORKERS=n``)
+    routes every campaign that does not receive an explicit executor through
+    the process pool — this is how ``benchmarks/run_benchmarks.py
+    --executor process`` switches the whole benchmark suite over without
+    touching each benchmark.
+    """
+    name = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+    if not name or name == "serial":
+        return None
+    workers_raw = os.environ.get(WORKERS_ENV, "").strip()
+    workers = int(workers_raw) if workers_raw else None
+    return executor_from_name(name, workers=workers)

@@ -10,15 +10,18 @@ that convergence with the number of iterations (Fig. 13) can be studied.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.scenarios.executors import CampaignExecutor
 
 from repro.bittorrent.instrumentation import FragmentMatrix
 from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
-from repro.simulation.rng import RandomStreams
+from repro.simulation.rng import RandomStreams, derive_seed
 from repro.tomography.metric import EdgeMetric, aggregate_mean
 
 
@@ -65,8 +68,31 @@ class MeasurementRecord:
         return aggregate_mean(self.matrices[:count])
 
     def cumulative_aggregates(self) -> List[EdgeMetric]:
-        """Aggregates after 1, 2, ..., n iterations (the Fig. 13 x-axis)."""
-        return [self.aggregate(i) for i in range(1, self.iterations + 1)]
+        """Aggregates after 1, 2, ..., n iterations (the Fig. 13 x-axis).
+
+        Maintained incrementally: one running sum over the symmetrised
+        matrices, divided by the prefix length — O(n) matrix passes instead
+        of the O(n²) of re-averaging every prefix.  Fragment counts are
+        integer-valued, so the running sum is exact and each prefix mean is
+        identical to what :meth:`aggregate` computes.
+        """
+        if not self.results:
+            raise ValueError("campaign has no measurements yet")
+        matrices = self.matrices
+        labels = matrices[0].labels
+        for m in matrices[1:]:
+            if m.labels != labels:
+                raise ValueError("all measurements must share the same host order")
+        running = np.zeros((len(labels), len(labels)), dtype=float)
+        aggregates: List[EdgeMetric] = []
+        for k, matrix in enumerate(matrices, start=1):
+            running += matrix.symmetric_weights()
+            mean = running / k
+            np.fill_diagonal(mean, 0.0)
+            aggregates.append(
+                EdgeMetric(labels=tuple(labels), weights=mean, iterations=k)
+            )
+        return aggregates
 
 
 class MeasurementCampaign:
@@ -86,6 +112,13 @@ class MeasurementCampaign:
     rotate_root:
         When True, iteration ``i`` is seeded by host ``i mod len(hosts)``;
         otherwise the first host always seeds (the paper's default setup).
+    executor:
+        Optional :class:`~repro.scenarios.executors.CampaignExecutor` the
+        independent iterations are fanned out through.  ``None`` runs the
+        classic in-process loop.  Because every iteration's random stream is
+        derived statelessly from ``(seed, "broadcast", i)`` and results are
+        reassembled in iteration order, any backend produces a record
+        bit-for-bit identical to the serial one.
     """
 
     def __init__(
@@ -95,26 +128,38 @@ class MeasurementCampaign:
         hosts: Optional[Sequence[str]] = None,
         seed: int = 0,
         rotate_root: bool = False,
+        executor: Optional["CampaignExecutor"] = None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.hosts = list(hosts) if hosts is not None else topology.host_names
         self.streams = RandomStreams(seed)
         self.rotate_root = rotate_root
+        self.executor = executor
         self.routing = RoutingTable(topology)
         self._broadcast = BitTorrentBroadcast(
             topology, config, hosts=self.hosts, routing=self.routing
         )
 
+    def root_of(self, iteration: int) -> str:
+        """Seeding host of broadcast number ``iteration`` (zero-based)."""
+        if self.rotate_root:
+            return self.hosts[iteration % len(self.hosts)]
+        return self.hosts[0]
+
     def run_iteration(self, iteration: int, root: Optional[str] = None) -> BroadcastResult:
-        """Run broadcast number ``iteration`` (zero-based) and return its result."""
+        """Run broadcast number ``iteration`` (zero-based) and return its result.
+
+        The generator is freshly derived from ``(seed, "broadcast",
+        iteration)`` on every call — never reused across calls — so
+        replaying an iteration (or re-running the campaign) is idempotent
+        and matches what executor workers derive for the same iteration.
+        """
         if root is None:
-            root = (
-                self.hosts[iteration % len(self.hosts)]
-                if self.rotate_root
-                else self.hosts[0]
-            )
-        rng = self.streams.stream("broadcast", iteration)
+            root = self.root_of(iteration)
+        rng = np.random.default_rng(
+            derive_seed(self.streams.seed, "broadcast", iteration)
+        )
         return self._broadcast.run(root=root, rng=rng)
 
     def run(self, iterations: int) -> MeasurementRecord:
@@ -122,6 +167,20 @@ class MeasurementCampaign:
         if iterations < 1:
             raise ValueError("iterations must be at least 1")
         record = MeasurementRecord(hosts=list(self.hosts))
-        for i in range(iterations):
-            record.results.append(self.run_iteration(i))
+        if self.executor is None:
+            for i in range(iterations):
+                record.results.append(self.run_iteration(i))
+        else:
+            specs = [
+                (("broadcast", i), self.root_of(i)) for i in range(iterations)
+            ]
+            record.results.extend(
+                self.executor.run_broadcasts(
+                    self.topology,
+                    self.config,
+                    self.hosts,
+                    self.streams.seed,
+                    specs,
+                )
+            )
         return record

@@ -121,6 +121,11 @@ class TomographyPipeline:
         Function mapping a weighted graph to a :class:`Partition`; defaults to
         the Louvain method.  Swappable so that the Infomap ablation reuses the
         same pipeline.
+    executor:
+        Optional campaign executor (see :mod:`repro.scenarios.executors`)
+        the measurement iterations fan out through; ``None`` keeps the
+        serial in-process loop.  Records are bit-for-bit identical across
+        backends.
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class TomographyPipeline:
         seed: int = 0,
         rotate_root: bool = False,
         clusterer: Optional[Callable[[WeightedGraph], Partition]] = None,
+        executor=None,
     ) -> None:
         self.topology = topology
         self.hosts = list(hosts) if hosts is not None else topology.host_names
@@ -146,7 +152,12 @@ class TomographyPipeline:
         self.config = config or default_swarm_config()
         self.seed = seed
         self.campaign = MeasurementCampaign(
-            topology, self.config, hosts=self.hosts, seed=seed, rotate_root=rotate_root
+            topology,
+            self.config,
+            hosts=self.hosts,
+            seed=seed,
+            rotate_root=rotate_root,
+            executor=executor,
         )
         self._clusterer = clusterer or (lambda graph: louvain(graph).partition)
 
@@ -190,8 +201,10 @@ class TomographyPipeline:
             nmi = scores["overlapping_nmi"]
             classical = scores["classical_nmi"]
             if track_convergence:
-                for k in range(1, record.iterations + 1):
-                    partial = self.cluster_metric(record.aggregate(k))
+                # Incremental prefix aggregates: one matrix pass per prefix
+                # instead of re-averaging every prefix from scratch.
+                for partial_metric in record.cumulative_aggregates():
+                    partial = self.cluster_metric(partial_metric)
                     convergence.append(overlapping_nmi(partial, self.ground_truth))
 
         return TomographyResult(

@@ -1,8 +1,10 @@
-"""Tests for the command-line interface."""
+"""Tests for the registry-driven command-line interface."""
+
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_overrides, _parse_value, build_parser, main
 
 
 class TestParser:
@@ -12,45 +14,78 @@ class TestParser:
             a.dest: a for a in parser._subparsers._group_actions  # noqa: SLF001
         }
         choices = set(actions["command"].choices)
-        assert {
-            "list-datasets",
-            "run-dataset",
-            "fig4",
-            "fig5",
-            "fig13",
-            "efficiency",
-            "netpipe",
-        } <= choices
-
-    def test_run_dataset_requires_known_name(self):
-        parser = build_parser()
-        with pytest.raises(SystemExit):
-            parser.parse_args(["run-dataset", "NOPE"])
+        assert {"list", "run", "sweep"} <= choices
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_defaults(self):
-        args = build_parser().parse_args(["run-dataset", "G-T"])
-        assert args.per_site == 8
-        assert args.iterations == 8
-        assert args.fragments == 600
-        assert args.seed == 2012
+    def test_run_defaults_are_scenario_defaults(self):
+        args = build_parser().parse_args(["run", "G-T"])
+        assert args.iterations is None
+        assert args.fragments is None
+        assert args.seed is None
+        assert args.executor == "serial"
+
+    def test_sweep_requires_param_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "G-T"])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "G-T", "--executor", "gpu"])
+
+
+class TestValueParsing:
+    def test_scalars(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("true") is True
+        assert _parse_value("pastel") == "pastel"
+
+    def test_comma_lists(self):
+        assert _parse_value("4,6,8") == (4, 6, 8)
+        assert _parse_value("0.1,1") == (0.1, 1)
+
+    def test_overrides(self):
+        assert _parse_overrides(["per-site=4", "squeeze=0.2"]) == {
+            "per_site": 4,
+            "squeeze": 0.2,
+        }
+        with pytest.raises(ValueError):
+            _parse_overrides(["nonsense"])
 
 
 class TestCommands:
-    def test_list_datasets(self, capsys):
-        assert main(["list-datasets"]) == 0
+    def test_list_shows_all_families_and_paper_datasets(self, capsys):
+        assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("2x2", "B", "B-T", "G-T", "B-G-T", "B-G-T-L"):
             assert name in out
+        for family in ("paper", "figure", "fat-tree", "random-bottleneck",
+                       "hetero-uplink"):
+            assert f"family {family}:" in out
+
+    def test_list_single_family(self, capsys):
+        assert main(["list", "--family", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "family paper:" in out
+        assert "family figure:" not in out
+
+    def test_list_unknown_family_fails(self, capsys):
+        assert main(["list", "--family", "nope"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_fails(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "G-T" in err  # the error lists what is available
 
     def test_run_dataset_small(self, capsys):
         code = main(
             [
-                "run-dataset",
-                "G-T",
+                "run", "G-T",
                 "--per-site", "4",
                 "--iterations", "3",
                 "--fragments", "200",
@@ -64,21 +99,91 @@ class TestCommands:
         assert "cluster 0" in out
 
     def test_run_dataset_2x2(self, capsys):
-        code = main(["run-dataset", "2x2", "--iterations", "3", "--fragments", "200"])
+        code = main(["run", "2x2", "--iterations", "3", "--fragments", "200"])
         assert code == 0
         out = capsys.readouterr().out
         assert "clusters found: 1" in out
 
-    def test_netpipe(self, capsys):
-        assert main(["netpipe"]) == 0
+    def test_run_netpipe(self, capsys):
+        assert main(["run", "netpipe"]) == 0
         out = capsys.readouterr().out
         assert "intra-cluster peak bandwidth" in out
         assert "890" in out
 
-    def test_fig5_small(self, capsys):
+    def test_run_fig5_small(self, capsys):
         code = main(
-            ["fig5", "--per-site", "4", "--iterations", "6", "--fragments", "150", "--seed", "3"]
+            ["run", "fig5", "--per-site", "4", "--iterations", "6",
+             "--fragments", "150", "--seed", "3"]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "zero-fragment runs" in out
+
+    def test_run_bad_override_fails_cleanly(self, capsys):
+        code = main(["run", "netpipe", "--set", "bogus_knob=1"])
+        assert code == 2
+        assert "bad override" in capsys.readouterr().err
+
+    def test_run_malformed_set_fails_cleanly(self, capsys):
+        assert main(["run", "netpipe", "--set", "nonsense"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_sweep_unknown_param_fails_cleanly(self, capsys):
+        code = main(["sweep", "netpipe", "--param", "bogus", "--values", "1,2"])
+        assert code == 2
+        assert "unknown tunables" in capsys.readouterr().err
+
+    def test_run_json_output(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main(
+            ["run", "G-T", "--per-site", "3", "--iterations", "2",
+             "--fragments", "120", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "run"
+        assert payload["scenario"] == "G-T"
+        assert payload["executor"] == "serial"
+        assert payload["found_clusters"] == 2
+        assert "result" not in payload  # heavy objects are stripped
+
+    def test_list_json_output(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        assert main(["list", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        names = {entry["name"] for entry in payload["scenarios"]}
+        assert {"B-G-T", "fig4", "FATTREE-4x4", "RANDBOT-1", "HETERO-UPLINK"} <= names
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "G-T", "--param", "per_site", "--values", "3,4",
+             "--iterations", "2", "--fragments", "120", "--json", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per_site=3" in out
+        assert "per_site=4" in out
+        payload = json.loads(path.read_text())
+        assert payload["param"] == "per_site"
+        assert payload["values"] == [3, 4]
+        assert [row["hosts"] for row in payload["rows"]] == [6, 8]
+
+    def test_sweep_campaign_parameter(self, capsys):
+        code = main(
+            ["sweep", "G-T", "--param", "iterations", "--values", "1,2",
+             "--per-site", "3", "--fragments", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iterations=1" in out
+        assert "iterations=2" in out
+
+    def test_run_with_process_executor(self, capsys):
+        code = main(
+            ["run", "G-T", "--per-site", "3", "--iterations", "2",
+             "--fragments", "120", "--executor", "process", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor process" in out

@@ -1,0 +1,194 @@
+"""Campaign executor backends: chunking, resolution, and — crucially —
+bit-for-bit equality between the serial and process-pool paths."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runners import run_broadcast_efficiency
+from repro.scenarios.executors import (
+    BroadcastTask,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    default_executor,
+    execute_task,
+    executor_from_name,
+)
+from repro.tomography.measurement import MeasurementCampaign
+from repro.tomography.pipeline import default_swarm_config
+
+
+def assert_records_identical(a, b):
+    """Two measurement records must match byte for byte."""
+    assert a.hosts == b.hosts
+    assert a.iterations == b.iterations
+    for ra, rb in zip(a.results, b.results):
+        assert ra.root == rb.root
+        assert ra.duration == rb.duration
+        assert ra.distinct_edges == rb.distinct_edges
+        assert ra.fragments.labels == rb.fragments.labels
+        assert np.array_equal(ra.fragments.counts, rb.fragments.counts)
+        assert ra.completion_times == rb.completion_times
+
+
+class TestChunking:
+    def test_serial_is_one_chunk(self):
+        specs = [(("broadcast", i), None) for i in range(5)]
+        assert SerialExecutor().chunk_specs(specs) == [tuple(specs)]
+
+    def test_process_splits_evenly_and_contiguously(self):
+        specs = [(("broadcast", i), None) for i in range(5)]
+        chunks = ProcessPoolExecutor(workers=2).chunk_specs(specs)
+        assert len(chunks) == 2
+        assert [s for chunk in chunks for s in chunk] == specs
+
+    def test_explicit_chunk_size(self):
+        specs = [(("broadcast", i), None) for i in range(5)]
+        chunks = ProcessPoolExecutor(workers=2, chunk_size=2).chunk_specs(specs)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+    def test_empty_specs(self):
+        assert ProcessPoolExecutor(workers=2).chunk_specs([]) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(chunk_size=0)
+
+
+class TestResolution:
+    def test_names(self):
+        assert executor_from_name(None).name == "serial"
+        assert executor_from_name("serial").name == "serial"
+        assert executor_from_name("process", workers=3).workers == 3
+        with pytest.raises(ValueError):
+            executor_from_name("gpu")
+
+    def test_default_executor_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert default_executor() is None
+
+    def test_default_executor_serial_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        assert default_executor() is None
+
+    def test_default_executor_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "3")
+        executor = default_executor()
+        assert executor.name == "process"
+        assert executor.workers == 3
+
+
+class TestExecuteTask:
+    def test_task_replays_campaign_iteration(self, two_site_topology, tiny_swarm_config):
+        campaign = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=9
+        )
+        expected = campaign.run_iteration(0)
+        task = BroadcastTask(
+            two_site_topology,
+            tiny_swarm_config,
+            tuple(campaign.hosts),
+            9,
+            ((("broadcast", 0), campaign.hosts[0]),),
+        )
+        (replayed,) = execute_task(task)
+        assert np.array_equal(replayed.fragments.counts, expected.fragments.counts)
+        assert replayed.duration == expected.duration
+
+
+class TestBackendEquality:
+    """The acceptance gate: fixed seed ⇒ byte-identical records on every backend."""
+
+    def _campaign(self, topology, config, executor, rotate_root=False):
+        return MeasurementCampaign(
+            topology, config, seed=42, rotate_root=rotate_root, executor=executor
+        )
+
+    def test_serial_executor_matches_inline_loop(self, two_site_topology, tiny_swarm_config):
+        inline = self._campaign(two_site_topology, tiny_swarm_config, None).run(4)
+        serial = self._campaign(
+            two_site_topology, tiny_swarm_config, SerialExecutor()
+        ).run(4)
+        assert_records_identical(inline, serial)
+
+    def test_process_pool_matches_serial(self, two_site_topology, tiny_swarm_config):
+        inline = self._campaign(two_site_topology, tiny_swarm_config, None).run(4)
+        pooled = self._campaign(
+            two_site_topology, tiny_swarm_config, ProcessPoolExecutor(workers=2)
+        ).run(4)
+        assert_records_identical(inline, pooled)
+
+    def test_process_pool_matches_serial_with_rotating_root(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        inline = self._campaign(
+            two_site_topology, tiny_swarm_config, None, rotate_root=True
+        ).run(5)
+        pooled = self._campaign(
+            two_site_topology,
+            tiny_swarm_config,
+            ProcessPoolExecutor(workers=2),
+            rotate_root=True,
+        ).run(5)
+        assert {r.root for r in pooled.results} != {pooled.hosts[0]}
+        assert_records_identical(inline, pooled)
+
+    def test_rerunning_same_campaign_is_idempotent(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        """A second run() of the same campaign object replays the first —
+        on every backend — so serial and pooled paths can never drift."""
+        inline = self._campaign(two_site_topology, tiny_swarm_config, None)
+        first = inline.run(2)
+        assert_records_identical(first, inline.run(2))
+        pooled = self._campaign(
+            two_site_topology, tiny_swarm_config, ProcessPoolExecutor(workers=2)
+        )
+        assert_records_identical(first, pooled.run(2))
+        assert_records_identical(first, pooled.run(2))
+
+    def test_chunk_size_does_not_change_results(self, dumbbell_topology, tiny_swarm_config):
+        coarse = self._campaign(
+            dumbbell_topology, tiny_swarm_config, ProcessPoolExecutor(workers=2)
+        ).run(4)
+        fine = self._campaign(
+            dumbbell_topology,
+            tiny_swarm_config,
+            ProcessPoolExecutor(workers=2, chunk_size=1),
+        ).run(4)
+        assert_records_identical(coarse, fine)
+
+    def test_broadcast_efficiency_backend_equality(self):
+        serial = run_broadcast_efficiency(
+            node_counts=(4, 8), num_fragments=60, seed=3
+        )
+        pooled = run_broadcast_efficiency(
+            node_counts=(4, 8),
+            num_fragments=60,
+            seed=3,
+            executor=ProcessPoolExecutor(workers=2),
+        )
+        assert serial["durations_by_nodes"] == pooled["durations_by_nodes"]
+        assert serial["durations_by_fragments"] == pooled["durations_by_fragments"]
+
+
+class TestPipelineIntegration:
+    def test_pipeline_summary_identical_across_backends(self, two_site_topology):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("G-T")
+        serial = spec.run(iterations=3, num_fragments=100, per_site=3)
+        pooled = spec.run(
+            iterations=3,
+            num_fragments=100,
+            per_site=3,
+            executor=ProcessPoolExecutor(workers=2),
+        )
+        assert serial["measured_nmi"] == pooled["measured_nmi"]
+        assert serial["modularity"] == pooled["modularity"]
+        assert serial["measurement_time_s"] == pooled["measurement_time_s"]
+        assert serial["nmi_per_iteration"] == pooled["nmi_per_iteration"]
+        assert pooled["executor"] == "process"
+        assert_records_identical(serial["result"].record, pooled["result"].record)

@@ -80,10 +80,28 @@ class TestMeasurementRecord:
         cumulative = record.cumulative_aggregates()
         assert [m.iterations for m in cumulative] == [1, 2, 3]
 
+    def test_cumulative_aggregates_match_per_prefix_aggregation(
+        self, dumbbell_topology, tiny_swarm_config
+    ):
+        """The incremental running-sum path is exact: fragment counts are
+        integer-valued, so every prefix mean equals ``aggregate(k)`` bit for
+        bit, not just approximately."""
+        campaign = MeasurementCampaign(dumbbell_topology, tiny_swarm_config, seed=6)
+        record = campaign.run(5)
+        cumulative = record.cumulative_aggregates()
+        assert len(cumulative) == 5
+        for k, metric in enumerate(cumulative, start=1):
+            reference = record.aggregate(k)
+            assert metric.labels == reference.labels
+            assert metric.iterations == reference.iterations
+            assert np.array_equal(metric.weights, reference.weights)
+
     def test_empty_record_rejects_aggregation(self):
         record = MeasurementRecord(hosts=["a", "b"])
         with pytest.raises(ValueError):
             record.aggregate()
+        with pytest.raises(ValueError):
+            record.cumulative_aggregates()
 
     def test_aggregation_reduces_variance(self, dumbbell_topology, small_swarm_config):
         """More iterations → the aggregated metric stabilises (Section II-D)."""
