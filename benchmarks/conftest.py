@@ -5,25 +5,49 @@ scale and prints a paper-vs-measured comparison.  Absolute numbers are not
 expected to match (the substrate is a simulator, not Grid'5000); the asserted
 properties are the *shapes* the paper reports: which edges are heavy, how many
 clusters are found, where the NMI converges, who is cheaper to run.
+
+Two scale profiles exist, selected by the ``REPRO_BENCH_PROFILE`` environment
+variable (``benchmarks/run_benchmarks.py --profile`` sets it):
+
+* ``ci`` (default) — 8 nodes per site, 600 fragments, 10 iterations: every
+  benchmark stays in the seconds range.
+* ``nightly`` — the paper's scale: 32 nodes per site, 15 259 fragments, 30
+  iterations.  At this scale ``hosts² × fragments`` crosses
+  ``MATMUL_INTEREST_LIMIT``, so the campaigns exercise the incremental
+  interest-update path end to end.
+
+Every benchmark row records the swarm stepping mode and the control steps
+executed per broadcast (``benchmark.extra_info``): the harness snapshots the
+process-wide :data:`repro.bittorrent.swarm.RUN_TALLY` around each run.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Mapping
 
 import pytest
 
+#: Scale profiles: nodes per site / fragments per broadcast / iterations.
+PROFILES = {
+    "ci": {"PER_SITE": 8, "NUM_FRAGMENTS": 600, "ITERATIONS": 10},
+    "nightly": {"PER_SITE": 32, "NUM_FRAGMENTS": 15_259, "ITERATIONS": 30},
+}
 
-#: Scale used by the dataset benchmarks (nodes per site).  The paper uses 32;
-#: 8 keeps every benchmark in the seconds range while preserving the
-#: contention ratios (see repro.experiments.datasets.scaled_builder).
-PER_SITE = 8
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "ci").strip().lower() or "ci"
+if PROFILE not in PROFILES:
+    raise ValueError(
+        f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}, got {PROFILE!r}"
+    )
+
+#: Scale used by the dataset benchmarks (nodes per site; the paper uses 32).
+PER_SITE = PROFILES[PROFILE]["PER_SITE"]
 
 #: Fragments per broadcast in the benchmark campaigns (paper: 15 259).
-NUM_FRAGMENTS = 600
+NUM_FRAGMENTS = PROFILES[PROFILE]["NUM_FRAGMENTS"]
 
 #: Measurement iterations for the clustering benchmarks (paper: 30-36).
-ITERATIONS = 10
+ITERATIONS = PROFILES[PROFILE]["ITERATIONS"]
 
 #: Seed shared by the benchmark campaigns.
 SEED = 2012
@@ -40,9 +64,43 @@ def report(title: str, rows: Mapping[str, object]) -> None:
 
 @pytest.fixture
 def bench_once(benchmark):
-    """Run the benchmarked callable exactly once (campaigns are expensive)."""
+    """Run the benchmarked callable exactly once (campaigns are expensive).
+
+    Records the stepping mode and control-steps-per-broadcast of the swarm
+    work performed during the call in ``benchmark.extra_info``, from which
+    ``run_benchmarks.py`` copies them into every BENCH row.
+    """
+    from repro.bittorrent.swarm import RUN_TALLY, default_stepping
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        before = dict(RUN_TALLY)
+        outcome = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
+        steps = RUN_TALLY["control_steps"] - before["control_steps"]
+        # Label the row with the mode(s) the measured call actually ran —
+        # some benchmarks pin their own stepping regardless of the suite
+        # default (e.g. the event-stepping comparison).
+        ran = {
+            mode
+            for mode in ("fixed", "event")
+            if RUN_TALLY[f"{mode}_broadcasts"] > before[f"{mode}_broadcasts"]
+        }
+        if len(ran) == 1:
+            benchmark.extra_info["stepping"] = ran.pop()
+        elif ran:
+            benchmark.extra_info["stepping"] = "mixed"
+        else:
+            benchmark.extra_info["stepping"] = default_stepping()
+        # RUN_TALLY is per-process: under the process-pool executor the
+        # swarm work happens in workers, so a zero delta means "not
+        # observed", not "zero steps" — omit the keys rather than record
+        # fabricated zeros.
+        if broadcasts:
+            benchmark.extra_info["broadcasts"] = broadcasts
+            benchmark.extra_info["control_steps"] = steps
+            benchmark.extra_info["control_steps_per_broadcast"] = round(
+                steps / broadcasts, 1
+            )
+        return outcome
 
     return _run

@@ -12,14 +12,26 @@ Usage::
     python benchmarks/run_benchmarks.py -k "broadcast or solver" -o out.json
     python benchmarks/run_benchmarks.py --compare BENCH_PR0.json -o BENCH_PR1.json
 
+    # paper-scale nightly profile (32/site, 15 259 fragments, 30 iterations,
+    # exercising the MATMUL_INTEREST_LIMIT crossover end to end)
+    python benchmarks/run_benchmarks.py --profile nightly -o BENCH_nightly.json
+
+    # flip the whole suite onto the fixed-dt oracle loop for a mode comparison
+    python benchmarks/run_benchmarks.py --stepping fixed -o BENCH_fixed.json
+
     # time registered scenarios directly (see `python -m repro list`),
     # optionally through the process-pool campaign executor
     python benchmarks/run_benchmarks.py --scenario B-G-T --scenario fig13 \
         --executor process -o out.json
 
 Every emitted row records which campaign-executor backend produced it
-(``executor``); ``--executor process`` routes the pytest benchmarks through
-the process pool too, via the ``REPRO_EXECUTOR`` environment variable.
+(``executor``), the swarm control-loop stepping mode (``stepping``) and the
+control steps the swarm executed per broadcast
+(``control_steps_per_broadcast``).  ``--executor process`` /
+``--stepping fixed`` route the pytest benchmarks through the corresponding
+backend via the ``REPRO_EXECUTOR`` / ``REPRO_STEPPING`` environment
+variables; ``--profile`` selects the ``ci`` or ``nightly`` scale via
+``REPRO_BENCH_PROFILE``.
 """
 
 from __future__ import annotations
@@ -47,7 +59,14 @@ def git_commit() -> str:
         return "unknown"
 
 
-def run_suite(select: str | None, raw_json: Path, executor: str, workers: int | None) -> int:
+def run_suite(
+    select: str | None,
+    raw_json: Path,
+    executor: str,
+    workers: int | None,
+    profile: str,
+    stepping: str,
+) -> int:
     command = [
         sys.executable,
         "-m",
@@ -63,27 +82,33 @@ def run_suite(select: str | None, raw_json: Path, executor: str, workers: int | 
     env["PYTHONPATH"] = env_path + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    # The experiment runners resolve their default campaign executor from
-    # the environment, so one variable switches the whole suite's backend.
+    # The experiment runners resolve their default campaign executor and
+    # swarm stepping mode from the environment, so one variable each
+    # switches the whole suite over; the conftest reads the scale profile.
     env["REPRO_EXECUTOR"] = executor
+    env["REPRO_STEPPING"] = stepping
+    env["REPRO_BENCH_PROFILE"] = profile
     if workers:
         env["REPRO_EXECUTOR_WORKERS"] = str(workers)
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
-def metadata() -> dict:
+def metadata(profile: str, stepping: str) -> dict:
     import numpy
 
-    from benchmarks.conftest import ITERATIONS, NUM_FRAGMENTS, PER_SITE, SEED
+    from benchmarks.conftest import PROFILES, SEED
 
+    scale = PROFILES[profile]
     return {
         "schema": "repro-bench-v1",
         "commit": git_commit(),
         "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "profile": profile,
+        "stepping": stepping,
         "scale": {
-            "PER_SITE": PER_SITE,
-            "NUM_FRAGMENTS": NUM_FRAGMENTS,
-            "ITERATIONS": ITERATIONS,
+            "PER_SITE": scale["PER_SITE"],
+            "NUM_FRAGMENTS": scale["NUM_FRAGMENTS"],
+            "ITERATIONS": scale["ITERATIONS"],
             "SEED": SEED,
         },
         "machine": {
@@ -95,29 +120,36 @@ def metadata() -> dict:
     }
 
 
-def normalize(raw_json: Path, executor: str) -> dict:
+def normalize(raw_json: Path, executor: str, profile: str, stepping: str) -> dict:
     raw = json.loads(raw_json.read_text())
     benchmarks = []
     for entry in raw.get("benchmarks", []):
         stats = entry["stats"]
-        benchmarks.append(
-            {
-                "name": entry["name"],
-                "file": entry.get("fullname", "").split("::")[0],
-                "wall_clock_s": stats["mean"],
-                "stddev_s": stats["stddev"],
-                "rounds": stats["rounds"],
-                "executor": executor,
-            }
-        )
+        extra = entry.get("extra_info") or {}
+        row = {
+            "name": entry["name"],
+            "file": entry.get("fullname", "").split("::")[0],
+            "wall_clock_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "executor": executor,
+            "stepping": extra.get("stepping", stepping),
+        }
+        for key in ("broadcasts", "control_steps", "control_steps_per_broadcast"):
+            if key in extra:
+                row[key] = extra[key]
+        benchmarks.append(row)
     benchmarks.sort(key=lambda item: item["name"])
-    return {**metadata(), "benchmarks": benchmarks}
+    return {**metadata(profile, stepping), "benchmarks": benchmarks}
 
 
-def run_scenarios(specs: list, executor_name: str, workers: int | None) -> dict:
+def run_scenarios(
+    specs: list, executor_name: str, workers: int | None, profile: str, stepping: str
+) -> dict:
     """Time resolved scenario specs directly through the registry."""
     import time
 
+    from repro.bittorrent.swarm import RUN_TALLY
     from repro.scenarios import executor_from_name
 
     executor = (
@@ -126,10 +158,14 @@ def run_scenarios(specs: list, executor_name: str, workers: int | None) -> dict:
     )
     rows = []
     for name, spec in specs:
+        before = dict(RUN_TALLY)
         start = time.perf_counter()
-        spec.run(executor=executor)
+        spec.run(executor=executor, stepping=stepping)
         elapsed = time.perf_counter() - start
-        print(f"  scenario:{name:<30s} {elapsed:8.3f}s  ({executor_name})")
+        broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
+        steps = RUN_TALLY["control_steps"] - before["control_steps"]
+        print(f"  scenario:{name:<30s} {elapsed:8.3f}s  "
+              f"({executor_name}, {stepping})")
         rows.append(
             {
                 "name": f"scenario:{name}",
@@ -138,10 +174,16 @@ def run_scenarios(specs: list, executor_name: str, workers: int | None) -> dict:
                 "stddev_s": 0.0,
                 "rounds": 1,
                 "executor": executor_name,
+                "stepping": stepping,
+                "broadcasts": broadcasts,
+                "control_steps": steps,
+                "control_steps_per_broadcast": (
+                    round(steps / broadcasts, 1) if broadcasts else 0.0
+                ),
             }
         )
     rows.sort(key=lambda item: item["name"])
-    return {**metadata(), "benchmarks": rows}
+    return {**metadata(profile, stepping), "benchmarks": rows}
 
 
 def compare(current: dict, baseline_path: Path) -> None:
@@ -177,6 +219,14 @@ def main() -> int:
                         help="campaign-executor backend recorded per row")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --executor process")
+    parser.add_argument("--profile", choices=("ci", "nightly"), default="ci",
+                        help="scale profile: ci = laptop scale, nightly = "
+                             "paper scale (32/site, 15 259 fragments, 30 "
+                             "iterations, incremental-interest crossover)")
+    parser.add_argument("--stepping", choices=("fixed", "event"),
+                        default="event",
+                        help="swarm control-loop policy for the whole run "
+                             "(results are bit-identical across modes)")
     args = parser.parse_args()
 
     sys.path.insert(0, str(REPO_ROOT))
@@ -192,15 +242,26 @@ def main() -> int:
         except KeyError as exc:
             print(str(exc.args[0]), file=sys.stderr)
             return 2
-        normalized = run_scenarios(specs, args.executor, args.workers)
+        if args.profile != "ci":
+            # Scenario timings run at each spec's registered defaults; the
+            # profile's scale constants only apply to the pytest suite, and
+            # stamping them into the record would misrepresent what ran.
+            print("--profile applies to the pytest suite, not --scenario runs",
+                  file=sys.stderr)
+            return 2
+        os.environ["REPRO_STEPPING"] = args.stepping
+        normalized = run_scenarios(
+            specs, args.executor, args.workers, args.profile, args.stepping
+        )
     else:
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
             raw_json = Path(handle.name)
-        status = run_suite(args.select, raw_json, args.executor, args.workers)
+        status = run_suite(args.select, raw_json, args.executor, args.workers,
+                           args.profile, args.stepping)
         if status != 0:
             print(f"benchmark run failed with exit status {status}", file=sys.stderr)
             return status
-        normalized = normalize(raw_json, args.executor)
+        normalized = normalize(raw_json, args.executor, args.profile, args.stepping)
         raw_json.unlink(missing_ok=True)
     output = Path(args.output)
     output.write_text(json.dumps(normalized, indent=2, sort_keys=False) + "\n")

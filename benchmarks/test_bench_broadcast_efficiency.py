@@ -30,6 +30,8 @@ def test_broadcast_time_constant_in_nodes_linear_in_size(bench_once):
             },
             "largest/smallest swarm duration ratio": f"{outcome['node_scaling_ratio']:.2f}",
             "4x-size duration ratio": f"{outcome['size_scaling_ratio']:.2f}",
+            "control steps by node count": outcome["control_steps_by_nodes"],
+            "stepping mode": outcome["stepping"],
         },
     )
 

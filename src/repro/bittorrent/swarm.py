@@ -5,14 +5,32 @@ other host holding nothing; all clients start simultaneously and the
 broadcast is complete when the last client finishes downloading (the paper's
 reference completion time).
 
-The simulation advances in small control steps.  Between steps, data moves as
-max-min-fair fluid flows along the unchoke relation; at each step the
-accumulated bytes on every active (uploader → downloader) pipe are converted
-into fragments using rarest-first selection, the fragment counters are
-incremented, and choking/interest state is refreshed.  Full tit-for-tat
-rechokes happen every ``rechoke_interval`` seconds, and peers with idle
-upload slots grab newly interested neighbours immediately, as the reference
-client's choker effectively does.
+The simulation advances on a grid of control points spaced ``control_dt``
+apart.  Between points, data moves as max-min-fair fluid flows along the
+unchoke relation; at each visited point the accumulated bytes on every
+active (uploader → downloader) pipe are converted into fragments using
+rarest-first selection, the fragment counters are incremented, and
+choking/interest state is refreshed.  Full tit-for-tat rechokes happen every
+``rechoke_interval`` seconds, and peers with idle upload slots grab newly
+interested neighbours immediately, as the reference client's choker
+effectively does.
+
+Two stepping policies decide *which* control points are executed
+(``SwarmConfig.stepping``, see docs/simulation.md):
+
+* ``"fixed"`` — the classic loop: every grid point is visited in turn.  This
+  is the oracle: the reference semantics all other modes must reproduce.
+* ``"event"`` — the control loop is driven by the discrete-event engine
+  (:mod:`repro.simulation.engine`): rechoke timers, predicted fragment-
+  boundary conversions and fluid-flow transitions are scheduled events on an
+  :class:`~repro.simulation.engine.EventQueue`, and simulated time jumps
+  straight from one state-changing control point to the next.  Because all
+  inter-point state is *anchored* (byte counts are analytic functions of the
+  last transition, never per-tick accumulations), skipping the inert points
+  is exact: the event mode replays the fixed-step loop bit for bit — same
+  random-stream consumption, same fragment-completion ordering, same
+  matrices — while executing only the control points where a choking,
+  interest or fragment transition can actually occur.
 
 This "fluid BitTorrent" keeps the protocol features the paper identifies as
 the sources of measurement randomness — random initial peer choice, four
@@ -23,6 +41,7 @@ fast enough to run dozens of measurement iterations on a laptop.
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -38,6 +57,40 @@ from repro.network.fluid import FluidNetwork, FluidTransfer
 from repro.network.grid5000 import DEFAULT_TCP_WINDOW, flow_rate_cap
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+from repro.simulation.engine import Event, EventQueue
+
+#: Recognised control-loop stepping policies (see module docstring).
+STEPPING_MODES = ("fixed", "event")
+
+#: Environment variable naming the default stepping policy for campaign
+#: configurations built by :func:`repro.tomography.pipeline
+#: .default_swarm_config` — this is how ``benchmarks/run_benchmarks.py
+#: --stepping fixed`` flips the whole suite without touching each benchmark.
+STEPPING_ENV = "REPRO_STEPPING"
+
+
+def default_stepping() -> str:
+    """Stepping policy selected by the environment (``"event"`` if unset)."""
+    value = os.environ.get(STEPPING_ENV, "").strip().lower()
+    if not value:
+        return "event"
+    if value not in STEPPING_MODES:
+        raise ValueError(
+            f"{STEPPING_ENV} must be one of {STEPPING_MODES}, got {value!r}"
+        )
+    return value
+
+
+#: Process-wide tallies of broadcasts run and control points executed, in
+#: this process.  The benchmark harness snapshots deltas around each
+#: benchmark to record control-steps-per-broadcast in every BENCH row
+#: (serial executor only: worker processes keep their own tallies).
+RUN_TALLY = {
+    "broadcasts": 0,
+    "control_steps": 0,
+    "fixed_broadcasts": 0,
+    "event_broadcasts": 0,
+}
 
 
 #: Below this ``hosts² × fragments`` product the interest matrix is simply
@@ -66,6 +119,10 @@ class SwarmConfig:
     tcp_window: Optional[float] = DEFAULT_TCP_WINDOW
     random_first_threshold: int = 4
     max_sim_time: float = 3600.0
+    #: Control-loop stepping policy: ``"event"`` jumps between state-changing
+    #: control points on the event queue, ``"fixed"`` visits every grid point
+    #: (the oracle).  Both produce identical results; see docs/simulation.md.
+    stepping: str = "event"
 
     def __post_init__(self) -> None:
         if self.control_dt <= 0:
@@ -74,6 +131,10 @@ class SwarmConfig:
             raise ValueError("rechoke_interval must be at least control_dt")
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
+        if self.stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"stepping must be one of {STEPPING_MODES}, got {self.stepping!r}"
+            )
 
 
 @dataclass
@@ -92,6 +153,11 @@ class BroadcastResult:
         Per-host download completion time.
     distinct_edges:
         Number of unordered host pairs that exchanged at least one fragment.
+    control_steps:
+        Number of control points the loop actually executed (the event mode's
+        figure of merit: fixed stepping executes every grid point).
+    stepping:
+        Stepping policy that produced this result (``"fixed"``/``"event"``).
     """
 
     fragments: FragmentMatrix
@@ -99,10 +165,56 @@ class BroadcastResult:
     duration: float
     completion_times: Dict[str, float]
     distinct_edges: int
+    control_steps: int = 0
+    stepping: str = "event"
 
     @property
     def hosts(self) -> List[str]:
         return list(self.fragments.labels)
+
+
+class _ControlAgenda:
+    """Scheduled control points of the event-stepped swarm loop.
+
+    A thin, typed agenda over the simulation engine's
+    :class:`~repro.simulation.engine.EventQueue`: each *kind* of control
+    event (the rechoke timer, the predicted fragment-boundary conversion,
+    the next fluid-flow transition, the simulation horizon) occupies at most
+    one queue slot, keyed by the control-step index it is due at.
+    Re-scheduling a kind lazily cancels its previous event, and events
+    landing on the same step coalesce into a single visit — the queue's
+    deterministic (time, insertion-order) ordering is what makes the event
+    mode's replay exactly reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._pending: Dict[str, Event] = {}
+
+    def schedule(self, kind: str, step: int) -> None:
+        """(Re)schedule ``kind`` to fire at control step ``step``."""
+        previous = self._pending.get(kind)
+        if previous is not None:
+            previous.cancel()
+        self._pending[kind] = self._queue.push(float(step), lambda: None)
+
+    def pop_next_step(self) -> Optional[int]:
+        """Earliest scheduled control step; coalesces same-step events.
+
+        Events of other kinds stay pending (already-popped ones are inert:
+        re-scheduling their kind later cancels a dead handle, which is a
+        no-op), so every round of :meth:`schedule` calls supersedes the
+        whole previous round.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return None
+        while True:
+            upcoming = self._queue.peek_time()
+            if upcoming is None or upcoming > event.time:
+                break
+            self._queue.pop()
+        return int(event.time)
 
 
 class BitTorrentBroadcast:
@@ -164,6 +276,7 @@ class BitTorrentBroadcast:
         self,
         root: Optional[str] = None,
         rng: Optional[np.random.Generator] = None,
+        trace: Optional[List[Tuple[float, str, str, int]]] = None,
     ) -> BroadcastResult:
         """Simulate one synchronized broadcast and return its measurement.
 
@@ -174,6 +287,10 @@ class BitTorrentBroadcast:
         rng:
             Random generator driving peer selection, choking and piece
             selection for this iteration.
+        trace:
+            Optional list collecting every fragment receipt as
+            ``(time, downloader, uploader, fragment)`` in completion order —
+            the sequence the stepping-equivalence tests compare across modes.
         """
         if rng is None:
             rng = np.random.default_rng()
@@ -254,9 +371,14 @@ class BitTorrentBroadcast:
         # mirrors the keys in sorted order (maintained by bisect on
         # open/close) so the per-step scans never re-sort.  Aligned with
         # ``pipe_order`` are contiguous per-pipe vectors (fluid slot, host
-        # indices, consumed bytes, tit-for-tat credit base, fragment
-        # progress) rebuilt lazily after membership changes, so the per-step
-        # byte accounting is a handful of array operations.
+        # indices, consumed-byte base, tit-for-tat credit base, fragment
+        # progress base) rebuilt lazily after membership changes.  The bases
+        # are *anchored*: ``pipe_consumed``/``pipe_progress`` are only
+        # written at a pipe's conversion events (and ``pipe_credit_base`` at
+        # credit flushes), so the byte state observed at any control point is
+        # an analytic function of the last event — identical whether or not
+        # the inert points in between were visited.  That anchoring is what
+        # makes the event-stepped mode replay the fixed loop bit for bit.
         pipes: Dict[Tuple[str, str], FluidTransfer] = {}
         pipe_order: List[Tuple[str, str]] = []
         pipe_pos: Dict[Tuple[str, str], int] = {}
@@ -328,12 +450,17 @@ class BitTorrentBroadcast:
                 if not keep_progress:
                     progress_carry.pop(key, None)
                 return
+            # Settle the anchored bases at the close time: the cancelled
+            # transfer's frozen byte count is exact as of the current clock.
+            moved = transfer.transferred
             # Flush the round's tit-for-tat credit before the pipe vanishes.
-            delta = pipe_consumed[position] - pipe_credit_base[position]
+            delta = moved - pipe_credit_base[position]
             if delta > 0:
                 peers[downloader].credit_download(uploader, float(delta))
             if keep_progress:
-                progress_carry[key] = float(pipe_progress[position])
+                progress_carry[key] = float(
+                    pipe_progress[position] + (moved - pipe_consumed[position])
+                )
             else:
                 progress_carry.pop(key, None)
 
@@ -384,6 +511,19 @@ class BitTorrentBroadcast:
             pipe_dead_values = np.array(dead_values, dtype=np.float64)
             pipes_dirty = False
 
+        def moved_at(t: float) -> np.ndarray:
+            """Exact per-pipe transferred bytes at absolute time ``t``.
+
+            Detached (budget-exhausted) pipes read their frozen totals; live
+            pipes read the fluid network's anchored-analytic state.  Pure —
+            valid at any time up to the next fluid transition, which is what
+            the event mode's jump predicates extrapolate with.
+            """
+            moved = fluid.transferred_at(pipe_slots, t)
+            if pipe_dead_positions.size:
+                moved[pipe_dead_positions] = pipe_dead_values
+            return moved
+
         def flush_credits() -> None:
             """Credit each open pipe's bytes since the last rechoke.
 
@@ -391,13 +531,14 @@ class BitTorrentBroadcast:
             choking round are identical, so crediting lazily (at rechoke and
             on pipe close) preserves the reciprocation ranking.
             """
-            owed = pipe_consumed - pipe_credit_base
+            moved = moved_at(time)
+            owed = moved - pipe_credit_base
             for position in np.flatnonzero(owed > 0):
                 uploader, downloader = pipe_order[position]
                 peers[downloader].credit_download(
                     uploader, float(owed[position])
                 )
-            np.copyto(pipe_credit_base, pipe_consumed)
+            np.copyto(pipe_credit_base, moved)
 
         def sync_pipes() -> None:
             """Make the fluid flow set match the current unchoke/interest state.
@@ -431,16 +572,94 @@ class BitTorrentBroadcast:
                 if downloader not in peers[uploader].unchoked:
                     close_pipe(uploader, downloader)
 
-        max_steps = int(np.ceil(cfg.max_sim_time / cfg.control_dt)) + 1
+        dt = cfg.control_dt
+        max_steps = int(np.ceil(cfg.max_sim_time / dt)) + 1
         upload_slots = self.choking.upload_slots
-        for _step in range(max_steps):
-            if not incomplete:
-                break
+        event_mode = cfg.stepping == "event"
+        agenda = _ControlAgenda() if event_mode else None
+        step = 0
+        control_steps = 0
+
+        # ---- event-mode jump predicates (exact, grid-aligned) ------------ #
+        # The predicates below answer "at which future control step does the
+        # loop body first do something?" with the *same float expressions*
+        # the body itself evaluates, so a jump lands exactly on the step the
+        # fixed loop would have acted at.  Analytic estimates seed the search
+        # and a short walk settles ulp-level rounding.
+        def conversion_due(t: float) -> bool:
+            """Would the conversion check fire if evaluated at time ``t``?"""
+            moved = moved_at(t)
+            deltas = moved - pipe_consumed
+            progress = pipe_progress + deltas
+            return bool(((deltas > 0) & (progress >= fragment_size)).any())
+
+        def next_rechoke_step(current: int) -> int:
+            """First step at or after ``current + 1`` whose clock hits the timer."""
+            target = next_rechoke - 1e-12
+            candidate = max(current + 1, int(np.ceil(target / dt)))
+            while candidate * dt < target:
+                candidate += 1
+            while candidate - 1 > current and (candidate - 1) * dt >= target:
+                candidate -= 1
+            return candidate
+
+        def next_fluid_step(current: int) -> int:
+            """First step whose advance covers the next fluid-flow transition."""
+            transition = fluid.next_transition()
+            if transition is None:
+                return max_steps
+            candidate = max(current + 1, int(np.ceil(transition / dt)) - 1)
+            while (candidate + 1) * dt < transition:
+                candidate += 1
+            while candidate - 1 > current and candidate * dt >= transition:
+                candidate -= 1
+            return candidate
+
+        def next_conversion_step(current: int, cap: int) -> int:
+            """First step in ``(current, cap]`` whose conversion check fires.
+
+            Rates are constant up to ``cap`` (which the caller bounds by the
+            next fluid transition), so per-pipe fragment boundaries are the
+            analytic ``need / (rate · dt)``; the walk pins the estimate to
+            the exact grid comparison the step body performs.
+            """
+            if not pipe_order or current + 1 >= cap:
+                return cap
+            rates = fluid._rate[pipe_slots].copy()
+            if pipe_dead_positions.size:
+                rates[pipe_dead_positions] = 0.0
+            moving = rates > 1e-12
+            if not moving.any():
+                return cap
+            progress = pipe_progress + (moved_at(time) - pipe_consumed)
+            need = fragment_size - progress[moving]
+            steps_needed = np.ceil(need / (rates[moving] * dt))
+            # The estimate can be off by a grid step when a boundary lands
+            # within float noise of a control point; the walk below settles
+            # it against the exact step-body predicate (monotone in time),
+            # so the jump lands on precisely the step the fixed loop acts at.
+            candidate = min(current + max(int(steps_needed.min()), 1), cap)
+            while candidate - 1 > current and conversion_due(candidate * dt):
+                candidate -= 1
+            while candidate < cap and not conversion_due((candidate + 1) * dt):
+                candidate += 1
+            return candidate
+
+        while incomplete:
+            if step >= max_steps:
+                raise RuntimeError(
+                    f"broadcast did not complete within max_sim_time="
+                    f"{cfg.max_sim_time}s ({len(incomplete)} hosts incomplete)"
+                )
+            time = step * dt
+            control_steps += 1
+            step_active = False
             if interest_by_matmul:
                 wanted = recompute_wanted()
 
             # --- choking -------------------------------------------------- #
             if time >= next_rechoke - 1e-12:
+                step_active = True
                 if pipe_order:
                     flush_credits()
                 for name in rng.permutation(self.hosts):
@@ -471,6 +690,7 @@ class BitTorrentBroadcast:
                             if d not in incomplete and d != root
                         ]
                         if stale:
+                            step_active = True
                             order = unchoked_order[name]
                             for d in stale:
                                 unchoked.discard(d)
@@ -485,6 +705,7 @@ class BitTorrentBroadcast:
                     ]
                     if not waiting:
                         continue
+                    step_active = True
                     picks = rng.choice(len(waiting), size=min(free, len(waiting)),
                                        replace=False)
                     order = unchoked_order[name]
@@ -494,37 +715,44 @@ class BitTorrentBroadcast:
                             unchoked.add(pick)
                             bisect.insort(order, pick)
 
+            if pipes_dirty:
+                # Carried over from a fluid-flow transition during the last
+                # advance: the allocation changed, so this point is a state
+                # change even if the choker left everything in place.
+                step_active = True
             sync_pipes()
             if pipes_dirty:
+                step_active = True
                 rebuild_pipe_vectors()
 
             # --- data movement -------------------------------------------- #
-            if fluid.advance(cfg.control_dt):
+            time = (step + 1) * dt
+            if fluid.advance_to(time):
                 # A pipe transfer exhausted its byte budget and was detached;
                 # its recycled slot must not be read after the next rebuild.
                 pipes_dirty = True
-            time += cfg.control_dt
+                step_active = True
 
             ready_list: List[int] = []
             if pipe_order:
-                moved = fluid.transferred_for(pipe_slots)
-                if pipe_dead_positions.size:
-                    moved[pipe_dead_positions] = pipe_dead_values
+                moved = moved_at(time)
                 deltas = moved - pipe_consumed
-                np.copyto(pipe_consumed, moved)
-                pipe_progress += deltas
+                progress_now = pipe_progress + deltas
                 # Only pipes that accumulated a whole fragment need Python
-                # work; everything else was accounted by the array ops above.
+                # work; their anchored bases are settled below, everything
+                # else stays a pure function of its last conversion event.
                 ready = np.flatnonzero(
-                    (deltas > 0) & (pipe_progress >= fragment_size)
+                    (deltas > 0) & (progress_now >= fragment_size)
                 )
                 if ready.size:
+                    step_active = True
                     # Unbox the per-event scalars in bulk; the loop below then
                     # runs on plain Python ints/floats.
                     ready_list = ready.tolist()
                     ready_up = pipe_up[ready].tolist()
                     ready_down = pipe_down[ready].tolist()
-                    ready_progress = pipe_progress[ready].tolist()
+                    ready_progress = progress_now[ready].tolist()
+                    ready_moved = moved[ready].tolist()
 
             for event, position in enumerate(ready_list):
                 uploader, downloader = pipe_order[position]
@@ -548,6 +776,7 @@ class BitTorrentBroadcast:
                 candidates = wanted_buf.nonzero()[0]
                 if candidates.size == 0:
                     # Nothing useful left on this pipe; drop the surplus.
+                    pipe_consumed[position] = ready_moved[event]
                     pipe_progress[position] = 0.0
                     continue
                 alive = alive_buf[: candidates.size]
@@ -592,8 +821,12 @@ class BitTorrentBroadcast:
                         incomplete_mask[downloader_index] = False
                         break
                 down._fragment_count = held
+                pipe_consumed[position] = ready_moved[event]
                 pipe_progress[position] = surplus
                 if received:
+                    if trace is not None:
+                        for fragment in received:
+                            trace.append((time, downloader, uploader, fragment))
                     fragments.counts[downloader_index, uploader_index] += len(received)
                     if not interest_by_matmul:
                         # Batched interest update: within this loop only the
@@ -606,13 +839,43 @@ class BitTorrentBroadcast:
                         wanted[downloader_index, :] += len(received) - shared
                         wanted[downloader_index, downloader_index] = 0
 
+            # --- next control point ---------------------------------------- #
+            if not event_mode or step_active:
+                # Fixed stepping visits every grid point; after a state
+                # change the event mode must look at the very next point too
+                # (new interest can fill idle slots or reopen pipes there).
+                step += 1
+                continue
+            # Quiescent point: nothing changed, so no random draws or pipe
+            # transitions can occur before the next scheduled control event.
+            # Fast path: if the very next point converts anyway (the common
+            # case in conversion-dense configs), one predicate evaluation
+            # replaces the whole agenda round.  A conservative answer only
+            # ever visits a point the fixed loop visits too.
+            if pipe_order and conversion_due((step + 2) * dt):
+                step += 1
+                continue
+            # Put the three event sources on the agenda and jump straight to
+            # the earliest — the grid points in between are provably inert.
+            rechoke_step = next_rechoke_step(step)
+            fluid_step = next_fluid_step(step)
+            horizon = min(rechoke_step, fluid_step, max_steps)
+            conv_step = next_conversion_step(step, horizon)
+            agenda.schedule("rechoke", rechoke_step)
+            agenda.schedule("fluid", fluid_step)
+            agenda.schedule("conversion", conv_step)
+            step = agenda.pop_next_step()
+            # Bring the fluid clock to the landing point before its control
+            # logic runs: the skipped span is transition-free (the jump is
+            # capped by the next fluid transition), so this only moves the
+            # clock — but pipe opens/closes at the landing step must anchor
+            # their rate change at the landing time, exactly as the fixed
+            # loop (whose clock always sits at the current grid point) does.
+            fluid.advance_to(step * dt)
 
-        else:
-            raise RuntimeError(
-                f"broadcast did not complete within max_sim_time="
-                f"{cfg.max_sim_time}s ({len(incomplete)} hosts incomplete)"
-            )
-
+        RUN_TALLY["broadcasts"] += 1
+        RUN_TALLY["control_steps"] += control_steps
+        RUN_TALLY[f"{cfg.stepping}_broadcasts"] += 1
         completion_times = {
             name: (peer.completion_time if peer.completion_time is not None else time)
             for name, peer in peers.items()
@@ -626,4 +889,6 @@ class BitTorrentBroadcast:
             duration=duration,
             completion_times=completion_times,
             distinct_edges=distinct_edges,
+            control_steps=control_steps,
+            stepping=cfg.stepping,
         )

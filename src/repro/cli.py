@@ -24,6 +24,7 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.bittorrent.swarm import STEPPING_MODES
 from repro.scenarios import (
     EXECUTOR_NAMES,
     all_scenarios,
@@ -156,7 +157,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     summary = spec.run(
-        executor=_make_executor(args), **_campaign_kwargs(args), **overrides
+        executor=_make_executor(args),
+        stepping=args.stepping,
+        **_campaign_kwargs(args),
+        **overrides,
     )
     print(spec.format(summary))
     _write_json(args.json, {"command": "run", **jsonable_summary(summary)})
@@ -202,7 +206,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             kwargs[param] = value
         else:
             overrides[param] = value
-        summary = spec.run(executor=executor, **kwargs, **overrides)
+        summary = spec.run(executor=executor, stepping=args.stepping,
+                           **kwargs, **overrides)
         row = jsonable_summary(summary)
         row[param] = value if not isinstance(value, tuple) else list(value)
         rows.append(row)
@@ -250,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--executor", choices=EXECUTOR_NAMES, default="serial",
                        help="campaign backend (process = fan out over cores; "
                             "records are bit-identical to serial)")
+        p.add_argument("--stepping", choices=STEPPING_MODES, default=None,
+                       help="swarm control-loop policy (event = jump between "
+                            "state changes; results are bit-identical to "
+                            "fixed, see docs/simulation.md)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --executor process")
         p.add_argument("--json", metavar="PATH", default=None,

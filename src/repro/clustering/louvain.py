@@ -52,77 +52,113 @@ class LouvainResult:
 
 
 class _LouvainState:
-    """Mutable community bookkeeping for one level of local moving."""
+    """Mutable community bookkeeping for one level of local moving.
+
+    The adjacency is flattened once into CSR index arrays (``indptr`` /
+    ``indices`` / ``weights``, self-loops excluded — the same layout trick as
+    :mod:`repro.network.solver`), and the per-node move loop gathers
+    neighbour communities and their total weights with array operations
+    instead of per-node Python dict walks.  Decisions are bit-identical to
+    the dict implementation it replaces: neighbour (and therefore candidate
+    community) order is the adjacency insertion order, per-community weights
+    accumulate in that same order (``np.bincount`` adds sequentially over
+    its input), and the sequential ``> best + 1e-12`` comparison chain is
+    preserved, so tie-breaking — and the NMI of every clustering result —
+    is unchanged.
+    """
 
     def __init__(self, graph: WeightedGraph) -> None:
         self.graph = graph
         self.nodes = graph.nodes()
+        n = len(self.nodes)
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
         self.total_weight = graph.total_weight()
-        self.node_degree: Dict[Node, float] = {
-            node: graph.degree_weight(node) for node in self.nodes
-        }
-        self.self_loops: Dict[Node, float] = {
-            node: graph.edge_weight(node, node) for node in self.nodes
-        }
-        # community id -> sum of member degrees; start with singletons.
-        self.community: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
-        self.community_degree: Dict[int, float] = {
-            self.community[node]: self.node_degree[node] for node in self.nodes
-        }
-
-    def neighbour_community_weights(self, node: Node) -> Dict[int, float]:
-        """Total edge weight from ``node`` to each neighbouring community."""
-        weights: Dict[int, float] = {}
-        for nbr, w in self.graph.neighbors(node).items():
-            if nbr == node:
-                continue
-            community = self.community[nbr]
-            weights[community] = weights.get(community, 0.0) + w
-        return weights
-
-    def remove(self, node: Node) -> None:
-        community = self.community[node]
-        self.community_degree[community] -= self.node_degree[node]
-        if self.community_degree[community] <= 1e-12:
-            self.community_degree[community] = 0.0
-        self.community[node] = -1
-
-    def insert(self, node: Node, community: int) -> None:
-        self.community[node] = community
-        self.community_degree[community] = (
-            self.community_degree.get(community, 0.0) + self.node_degree[node]
+        self.node_degree = np.array(
+            [graph.degree_weight(node) for node in self.nodes], dtype=np.float64
         )
-
-    def gain(self, node: Node, community: int, weight_to_community: float) -> float:
-        """Modularity gain of inserting ``node`` (currently removed) into ``community``."""
-        two_m = 2.0 * self.total_weight
-        sigma_tot = self.community_degree.get(community, 0.0)
-        k_i = self.node_degree[node]
-        return weight_to_community / self.total_weight - (sigma_tot * k_i) / (two_m * two_m / 2.0)
+        self.self_loops = np.array(
+            [graph.edge_weight(node, node) for node in self.nodes], dtype=np.float64
+        )
+        # CSR adjacency in insertion order, self-loops dropped (the move
+        # loop never counts them among neighbour communities).
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        flat_indices: List[int] = []
+        flat_weights: List[float] = []
+        for i, node in enumerate(self.nodes):
+            for nbr, w in graph.neighbors(node).items():
+                if nbr == node:
+                    continue
+                flat_indices.append(self.index[nbr])
+                flat_weights.append(w)
+            indptr[i + 1] = len(flat_indices)
+        self.indptr = indptr
+        self.indices = np.array(flat_indices, dtype=np.int64)
+        self.weights = np.array(flat_weights, dtype=np.float64)
+        # node -> community id; communities start as singletons, and nodes
+        # only ever join a neighbour's community, so ids stay within [0, n).
+        self.community = np.arange(n, dtype=np.int64)
+        self.community_degree = self.node_degree.copy()
 
     def one_pass(self, order: Sequence[Node]) -> bool:
         """One sweep of local moving; returns True if any node moved."""
         moved = False
+        indptr = self.indptr
+        indices = self.indices
+        weights = self.weights
+        community = self.community
+        community_degree = self.community_degree
+        node_degree = self.node_degree
+        total_weight = self.total_weight
+        two_m = 2.0 * total_weight
+        norm = two_m * two_m / 2.0
         for node in order:
-            current = self.community[node]
-            weights = self.neighbour_community_weights(node)
-            self.remove(node)
+            i = self.index[node]
+            start, end = indptr[i], indptr[i + 1]
+            nbr_communities = community[indices[start:end]]
+            current = int(community[i])
+            # remove(): take the node out of its community.
+            degree = float(node_degree[i])
+            reduced = float(community_degree[current]) - degree
+            community_degree[current] = 0.0 if reduced <= 1e-12 else reduced
+            if nbr_communities.size:
+                totals = np.bincount(
+                    nbr_communities, weights=weights[start:end]
+                )
+                # First-appearance dedup: dict keys preserve insertion
+                # order, matching the dict-walk candidate order exactly.
+                candidates = dict.fromkeys(nbr_communities.tolist())
+                weight_to_current = (
+                    float(totals[current]) if current < totals.size else 0.0
+                )
+            else:
+                candidates = ()
+                weight_to_current = 0.0
             best_community = current
-            best_gain = self.gain(node, current, weights.get(current, 0.0))
-            for community, weight in weights.items():
-                candidate_gain = self.gain(node, community, weight)
+            best_gain = (
+                weight_to_current / total_weight
+                - (float(community_degree[current]) * degree) / norm
+            )
+            for candidate in candidates:
+                candidate_gain = (
+                    float(totals[candidate]) / total_weight
+                    - (float(community_degree[candidate]) * degree) / norm
+                )
                 if candidate_gain > best_gain + 1e-12:
                     best_gain = candidate_gain
-                    best_community = community
-            self.insert(node, best_community)
+                    best_community = candidate
+            # insert(): join the winning community.
+            community[i] = best_community
+            community_degree[best_community] = (
+                float(community_degree[best_community]) + degree
+            )
             if best_community != current:
                 moved = True
         return moved
 
     def partition(self) -> Partition:
         groups: Dict[int, set] = {}
-        for node, community in self.community.items():
-            groups.setdefault(community, set()).add(node)
+        for node, community in zip(self.nodes, self.community):
+            groups.setdefault(int(community), set()).add(node)
         return Partition(groups.values())
 
 

@@ -58,13 +58,15 @@ def run_dataset_clustering(
     track_convergence: bool = False,
     rotate_root: bool = False,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the full tomography pipeline on a dataset and summarise the outcome."""
+    config = default_swarm_config(num_fragments, stepping=stepping)
     pipeline = TomographyPipeline(
         ds.topology,
         hosts=ds.hosts,
         ground_truth=ds.ground_truth,
-        config=default_swarm_config(num_fragments),
+        config=config,
         seed=seed,
         rotate_root=rotate_root,
         executor=_resolve_executor(executor),
@@ -82,6 +84,8 @@ def run_dataset_clustering(
         "modularity": result.modularity,
         "measurement_time_s": result.measurement_time,
         "nmi_per_iteration": result.nmi_per_iteration,
+        "stepping": config.stepping,
+        "control_steps": result.record.total_control_steps(),
         "result": result,
         "ground_truth": ds.ground_truth,
     }
@@ -94,6 +98,7 @@ def run_named_dataset(
     num_fragments: int = 600,
     seed: int = 7,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
     **dataset_kwargs,
 ) -> Dict[str, object]:
     """Convenience wrapper: build a named dataset (optionally scaled) and run it."""
@@ -115,6 +120,7 @@ def run_named_dataset(
         num_fragments=num_fragments,
         seed=seed,
         executor=executor,
+        stepping=stepping,
     )
 
 
@@ -130,6 +136,7 @@ def run_fig4(
     seed: int = 3,
     focus_host: Optional[str] = None,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, object]:
     """Metric values for all edges of a fixed node, split local vs remote.
 
@@ -142,7 +149,7 @@ def run_fig4(
         ds.topology,
         hosts=ds.hosts,
         ground_truth=ds.ground_truth,
-        config=default_swarm_config(num_fragments),
+        config=default_swarm_config(num_fragments, stepping=stepping),
         seed=seed,
         executor=_resolve_executor(executor),
     )
@@ -181,6 +188,7 @@ def run_fig5(
     num_fragments: int = 400,
     seed: int = 11,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, object]:
     """Distribution of ``w(e)`` for one intra-cluster edge over independent runs.
 
@@ -193,7 +201,7 @@ def run_fig5(
     hosts = topology.host_names
     campaign = MeasurementCampaign(
         topology,
-        default_swarm_config(num_fragments),
+        default_swarm_config(num_fragments, stepping=stepping),
         hosts=hosts,
         seed=seed,
         executor=_resolve_executor(executor),
@@ -229,6 +237,7 @@ def run_fig13(
     num_fragments: int = 500,
     seed: int = 5,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, ConvergenceStudy]:
     """NMI-vs-iterations curves for the Fig. 13 datasets (scaled down)."""
     names = list(datasets) if datasets is not None else ["B", "B-T", "G-T", "B-G-T", "B-G-T-L"]
@@ -244,7 +253,7 @@ def run_fig13(
             ds = dataset(name, per_site=per_site)
         campaign = MeasurementCampaign(
             ds.topology,
-            default_swarm_config(num_fragments),
+            default_swarm_config(num_fragments, stepping=stepping),
             hosts=ds.hosts,
             seed=seed,
             executor=_resolve_executor(executor),
@@ -265,6 +274,7 @@ def run_broadcast_efficiency(
     sites: Sequence[str] = ("bordeaux", "grenoble", "toulouse", "lyon"),
     seed: int = 13,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, object]:
     """Broadcast completion time as a function of swarm size and file size.
 
@@ -286,7 +296,7 @@ def run_broadcast_efficiency(
             site: {default_cluster_of(site): per_site} for site in sites
         }
         topology = build_multi_site(request)
-        config = default_swarm_config(num_fragments)
+        config = default_swarm_config(num_fragments, stepping=stepping)
         node_hosts.append(len(topology.host_names))
         tasks.append(
             BroadcastTask(
@@ -299,7 +309,7 @@ def run_broadcast_efficiency(
     size_topology = build_multi_site(request)
     fragment_counts = (num_fragments // 2, num_fragments, num_fragments * 2)
     for fragments in fragment_counts:
-        config = default_swarm_config(fragments)
+        config = default_swarm_config(fragments, stepping=stepping)
         tasks.append(
             BroadcastTask(
                 size_topology, config, None, seed, ((("fragments", fragments), None),)
@@ -325,6 +335,15 @@ def run_broadcast_efficiency(
         "durations_by_fragments": size_durations,
         "node_scaling_ratio": ratio_nodes,
         "size_scaling_ratio": ratio_size,
+        "control_steps_by_nodes": {
+            hosts: result.control_steps
+            for hosts, result in zip(node_hosts, results[: len(node_hosts)])
+        },
+        "control_steps_by_fragments": {
+            fragments: result.control_steps
+            for fragments, result in zip(fragment_counts, results[len(node_hosts) :])
+        },
+        "stepping": results[0].stepping if results else (stepping or "event"),
         "paper_seconds_per_broadcast": 20.0,
     }
 
@@ -339,6 +358,7 @@ def run_baseline_cost(
     bt_iterations: int = 4,
     seed: int = 17,
     executor: Optional[CampaignExecutor] = None,
+    stepping: Optional[str] = None,
 ) -> Dict[str, object]:
     """Measurement cost of the BitTorrent method vs the saturation baselines.
 
@@ -359,7 +379,7 @@ def run_baseline_cost(
 
         campaign = MeasurementCampaign(
             topology,
-            default_swarm_config(num_fragments),
+            default_swarm_config(num_fragments, stepping=stepping),
             hosts=hosts,
             seed=seed,
             executor=_resolve_executor(executor),

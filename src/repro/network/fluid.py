@@ -2,21 +2,32 @@
 
 Two usage styles are supported:
 
-* **event-driven** (:meth:`FluidNetwork.run_until_complete`) — rates are
-  recomputed whenever a transfer starts or finishes and the next completion is
-  scheduled exactly; this is the classic flow-level simulation used for
-  NetPIPE probes and the saturation-tomography baselines.
-* **time-stepped** (:meth:`FluidNetwork.advance`) — the caller advances the
-  clock in fixed steps and the engine credits ``rate × dt`` bytes to every
-  active transfer; the BitTorrent swarm uses this mode because its own control
-  loop (choking rounds, piece selection) already runs on a periodic schedule.
+* **event-driven** (:meth:`FluidNetwork.run_until_complete`,
+  :meth:`FluidNetwork.next_transition`) — rates are recomputed whenever a
+  transfer starts or finishes and the next completion is scheduled exactly;
+  this is the classic flow-level simulation used for NetPIPE probes and the
+  saturation-tomography baselines, and what the event-stepped BitTorrent
+  swarm builds its jump targets from.
+* **time-stepped** (:meth:`FluidNetwork.advance` /
+  :meth:`FluidNetwork.advance_to`) — the caller advances the clock and the
+  engine credits ``rate × elapsed`` bytes to every active transfer; the
+  BitTorrent swarm uses this mode because its own control loop (choking
+  rounds, piece selection) runs on a discretized schedule.
 
 Internally the network keeps a :class:`~repro.network.solver.FlowSet` whose
-slots index contiguous ``remaining``/``rate``/``size`` vectors, so the
-reallocation and the advance loop's ETA/credit scans are batched array
-operations.  :class:`FluidTransfer` objects are thin views: their
-``transferred``/``rate`` properties read the vectors, so per-step state is
-never copied back onto Python objects.
+slots index contiguous ``remaining``/``rate``/``size`` vectors.  The byte
+state is **anchored**: ``_remaining`` is only materialized at *transition
+points* — flow arrivals/cancellations and in-flight completions — and every
+read in between is the analytic ``remaining - rate × (t - anchor)``.  Because
+the allocation is piecewise-constant between transitions, the value observed
+at any time ``t`` is a pure function of the last transition state: it does
+not depend on how many intermediate ``advance_to`` calls the caller made.
+That property is what lets the swarm's event-stepped mode skip over inert
+control steps while remaining bit-for-bit identical to the fixed-step loop.
+
+:class:`FluidTransfer` objects are thin views: their ``transferred``/``rate``
+properties read the vectors, so per-step state is never copied back onto
+Python objects.
 """
 
 from __future__ import annotations
@@ -97,7 +108,12 @@ class FluidTransfer:
     @property
     def transferred(self) -> float:
         if self._slot >= 0:
-            return self.size - max(float(self._net._remaining[self._slot]), 0.0)
+            net = self._net
+            remaining = float(net._remaining[self._slot])
+            elapsed = net.now - net._anchor
+            if elapsed > 0.0:
+                remaining -= float(net._rate[self._slot]) * elapsed
+            return self.size - max(remaining, 0.0)
         return self._final_transferred
 
     @property
@@ -132,7 +148,13 @@ class FluidNetwork:
         self._ids = itertools.count(1)
         self._dirty = True
         self.now = 0.0
+        #: Absolute time at which ``_remaining`` was last materialized; the
+        #: current ``_rate`` vector governs ``[_anchor, next transition)``.
+        self._anchor = 0.0
         self.completed: List[FluidTransfer] = []
+        #: Monotone count of flow-set transitions (arrivals, cancellations,
+        #: completions); callers snapshot it to detect rate changes.
+        self.transitions = 0
         # Slot-aligned state vectors (grown in lockstep with the FlowSet pool).
         pool = self._flows.pool_size
         self._remaining = np.zeros(pool, dtype=np.float64)
@@ -140,6 +162,28 @@ class FluidNetwork:
         self._size = np.zeros(pool, dtype=np.float64)
         self._by_slot: Dict[int, FluidTransfer] = {}
         self._slots_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # anchored byte state
+    # ------------------------------------------------------------------ #
+    def _materialize(self, t: float) -> None:
+        """Integrate ``_remaining`` from the anchor up to ``t``.
+
+        Must only be called with ``t`` at or before the next in-flight
+        completion; transitions in between are handled by :meth:`advance_to`.
+        """
+        if t <= self._anchor:
+            return
+        if self._dirty:
+            # A mutation at the anchor left the rates stale; they must be
+            # recomputed before integrating past it.
+            self._reallocate()
+        slots = self._active_slots()
+        if slots.size:
+            credited = self._remaining[slots] - self._rate[slots] * (t - self._anchor)
+            np.maximum(credited, 0.0, out=credited)
+            self._remaining[slots] = credited
+        self._anchor = t
 
     # ------------------------------------------------------------------ #
     # transfer management
@@ -157,6 +201,8 @@ class FluidNetwork:
             raise ValueError(f"transfer size must be positive, got {size}")
         if not self.topology.is_host(src) or not self.topology.is_host(dst):
             raise ValueError(f"transfers must run between hosts ({src!r} -> {dst!r})")
+        # The allocation changes now: settle the old rates' bytes first.
+        self._materialize(self.now)
         route = self.routing.route_indices(src, dst)
         slot = self._flows.add(route, rate_cap, assume_unique=True)
         if slot >= self._remaining.size:
@@ -183,10 +229,14 @@ class FluidNetwork:
         self._by_slot[slot] = transfer
         self._slots_cache = None
         self._dirty = True
+        self.transitions += 1
         return transfer
 
     def _detach(self, transfer: FluidTransfer) -> None:
-        """Freeze a transfer's state and release its slot."""
+        """Freeze a transfer's state and release its slot.
+
+        The caller must have materialized the byte state at the detach time.
+        """
         slot = transfer._slot
         transfer._final_transferred = transfer.size - max(float(self._remaining[slot]), 0.0)
         transfer._final_rate = float(self._rate[slot])
@@ -196,12 +246,14 @@ class FluidNetwork:
         del self._by_slot[slot]
         self._slots_cache = None
         self._dirty = True
+        self.transitions += 1
 
     def cancel_transfer(self, transfer: FluidTransfer) -> None:
         """Abort a transfer without firing its completion callback."""
         live = self._active.pop(transfer.transfer_id, None)
         if live is None:
             return
+        self._materialize(self.now)
         self._detach(transfer)
 
     @property
@@ -233,70 +285,97 @@ class FluidNetwork:
             self._reallocate()
         return {tid: float(self._rate[t._slot]) for tid, t in self._active.items()}
 
-    def transferred_for(self, slots: np.ndarray) -> np.ndarray:
-        """Bulk read of transferred bytes for the given slots (hot path)."""
-        return self._size[slots] - self._remaining[slots]
+    def transferred_at(self, slots: np.ndarray, t: float) -> np.ndarray:
+        """Bulk analytic read of transferred bytes at absolute time ``t``.
 
-    # ------------------------------------------------------------------ #
-    # time-stepped mode
-    # ------------------------------------------------------------------ #
-    def advance(self, dt: float) -> List[FluidTransfer]:
-        """Advance the fluid state by ``dt`` seconds.
-
-        Bytes are credited at the rate allocated at the *start* of the step;
-        transfers that complete mid-step finish at the interpolated time and
-        the freed bandwidth is redistributed for the remainder of the step.
-
-        Returns the transfers completed during the step, in completion order.
+        Valid for ``t`` between the last materialized transition and the next
+        one (the window in which rates are constant); the swarm's control
+        loop only reads at such times.
         """
-        if dt < 0:
-            raise ValueError(f"dt must be non-negative, got {dt}")
+        remaining = self._remaining[slots]
+        elapsed = t - self._anchor
+        if elapsed > 0.0:
+            remaining = remaining - self._rate[slots] * elapsed
+            np.maximum(remaining, 0.0, out=remaining)
+        return self._size[slots] - remaining
+
+    def transferred_for(self, slots: np.ndarray) -> np.ndarray:
+        """Bulk read of transferred bytes at the current clock (hot path)."""
+        return self.transferred_at(slots, self.now)
+
+    # ------------------------------------------------------------------ #
+    # time stepping
+    # ------------------------------------------------------------------ #
+    def next_transition(self) -> Optional[float]:
+        """Earliest in-flight completion time under the current allocation.
+
+        Returns ``None`` when nothing is moving.  Between now and the
+        returned time the allocation is constant, so callers may safely
+        extrapolate byte counts with :meth:`transferred_at`.
+        """
+        if not self._active:
+            return None
+        if self._dirty:
+            self._reallocate()
+        slots = self._active_slots()
+        rates = self._rate[slots]
+        moving = rates > 1e-12
+        if not moving.any():
+            return None
+        eta = float((self._remaining[slots][moving] / rates[moving]).min())
+        return self._anchor + eta
+
+    def advance_to(self, target: float) -> List[FluidTransfer]:
+        """Advance the fluid state to absolute time ``target``.
+
+        In-flight completions up to ``target`` are processed at their exact
+        (interpolated) times, redistributing the freed bandwidth for the rest
+        of the interval.  Returns the transfers completed during the call, in
+        completion order.
+        """
+        if target < self.now - 1e-12:
+            raise ValueError(
+                f"cannot advance backwards (now={self.now}, target={target})"
+            )
         finished: List[FluidTransfer] = []
-        remaining_dt = float(dt)
         guard = 0
-        while remaining_dt > 1e-12 and self._active:
+        while self._active:
             guard += 1
-            if guard > 10 * (len(self._active) + len(finished) + 10):
+            if guard > 10 * (len(self._active) + len(finished)) + 1000:
                 raise RuntimeError("fluid advance failed to converge")
             if self._dirty:
                 self._reallocate()
             slots = self._active_slots()
             rates = self._rate[slots]
-            remaining = self._remaining[slots]
-            # Earliest completion within the remaining step, if any.
             moving = rates > 1e-12
-            if moving.any():
-                eta = (remaining[moving] / rates[moving]).min()
-                next_completion = min(float(eta), remaining_dt)
-            else:
-                next_completion = remaining_dt
-            step = max(next_completion, 0.0)
-            if step <= 1e-15:
-                step = min(remaining_dt, 1e-9)
-            credited = remaining - rates * step
-            np.maximum(credited, 0.0, out=credited)
-            self._remaining[slots] = credited
-            self.now += step
-            remaining_dt -= step
+            if not moving.any():
+                break
+            eta = float((self._remaining[slots][moving] / rates[moving]).min())
+            completion = self._anchor + eta
+            if completion > target:
+                break
+            self._materialize(completion)
+            credited = self._remaining[slots]
             done = np.flatnonzero(credited <= 1e-9)
             for position in done:
                 transfer = self._by_slot[int(slots[position])]
-                transfer.finish_time = self.now
+                transfer.finish_time = completion
                 self._remaining[transfer._slot] = 0.0
                 self._detach(transfer)
                 del self._active[transfer.transfer_id]
                 self.completed.append(transfer)
                 finished.append(transfer)
-            if done.size:
-                continue
-            if step >= remaining_dt - 1e-15:
-                break
-        if not self._active and remaining_dt > 0:
-            self.now += remaining_dt
+        self.now = max(self.now, target)
         for transfer in finished:
             if transfer.on_complete is not None:
                 transfer.on_complete(transfer)
         return finished
+
+    def advance(self, dt: float) -> List[FluidTransfer]:
+        """Advance the fluid state by ``dt`` seconds (relative-time wrapper)."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        return self.advance_to(self.now + dt)
 
     # ------------------------------------------------------------------ #
     # event-driven mode
@@ -311,18 +390,13 @@ class FluidNetwork:
             guard += 1
             if guard > 1_000_000:
                 raise RuntimeError("run_until_complete exceeded event budget")
-            if self._dirty:
-                self._reallocate()
-            slots = self._active_slots()
-            rates = self._rate[slots]
-            moving = rates > 1e-12
-            if not moving.any():
+            transition = self.next_transition()
+            if transition is None:
                 raise RuntimeError(
                     "active transfers have zero allocated rate; topology is "
                     "disconnected or capacities are malformed"
                 )
-            eta = float((self._remaining[slots][moving] / rates[moving]).min())
-            self.advance(min(eta, max_time - self.now))
+            self.advance_to(min(transition, max_time))
         return self.now
 
     def transfer_time(self, src: str, dst: str, size: float) -> float:

@@ -213,6 +213,7 @@ def _scenario_fig4(
     executor=None,
     per_site: int = DEFAULT_PER_SITE,
     focus_host: Optional[str] = None,
+    stepping: Optional[str] = None,
 ):
     return run_fig4(
         iterations=iterations,
@@ -220,6 +221,7 @@ def _scenario_fig4(
         seed=seed,
         focus_host=focus_host,
         executor=executor,
+        stepping=stepping,
         **_bordeaux_split(per_site),
     )
 
@@ -232,6 +234,7 @@ def _scenario_fig5(
     seed: int,
     executor=None,
     per_site: int = DEFAULT_PER_SITE,
+    stepping: Optional[str] = None,
 ):
     return run_fig5(
         cluster_nodes=per_site * 2,
@@ -239,6 +242,7 @@ def _scenario_fig5(
         num_fragments=num_fragments,
         seed=seed,
         executor=executor,
+        stepping=stepping,
     )
 
 
@@ -251,6 +255,7 @@ def _scenario_fig13(
     executor=None,
     per_site: int = DEFAULT_PER_SITE,
     datasets: Optional[Tuple[str, ...]] = None,
+    stepping: Optional[str] = None,
 ):
     return run_fig13(
         datasets=datasets,
@@ -259,6 +264,7 @@ def _scenario_fig13(
         num_fragments=num_fragments,
         seed=seed,
         executor=executor,
+        stepping=stepping,
     )
 
 
@@ -271,12 +277,14 @@ def _scenario_efficiency(
     seed: int,
     executor=None,
     node_counts: Tuple[int, ...] = (8, 16, 32),
+    stepping: Optional[str] = None,
 ):
     return run_broadcast_efficiency(
         node_counts=tuple(int(c) for c in node_counts),
         num_fragments=num_fragments,
         seed=seed,
         executor=executor,
+        stepping=stepping,
     )
 
 
@@ -290,6 +298,7 @@ def _scenario_baseline(
     executor=None,
     node_counts: Tuple[int, ...] = (6, 10, 14),
     probe_size: float = 16e6,
+    stepping: Optional[str] = None,
 ):
     return run_baseline_cost(
         node_counts=tuple(int(c) for c in node_counts),
@@ -298,6 +307,7 @@ def _scenario_baseline(
         bt_iterations=iterations,
         seed=seed,
         executor=executor,
+        stepping=stepping,
     )
 
 

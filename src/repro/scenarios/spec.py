@@ -63,6 +63,11 @@ class ScenarioSpec:
         Whether the campaign rotates the seeding root across iterations.
     track_convergence:
         Whether the default pipeline records the NMI-vs-iterations curve.
+    stepping:
+        Swarm control-loop stepping policy (``"fixed"``/``"event"``) the
+        scenario pins, or ``None`` to follow the environment default
+        (``REPRO_STEPPING``, ultimately ``"event"``).  Both policies produce
+        bit-for-bit identical measurements (docs/simulation.md).
     tags:
         Free-form labels (``"beyond-paper"``, ``"sweepable"``, ...).
     formatter:
@@ -79,6 +84,7 @@ class ScenarioSpec:
     seed: int = 2012
     rotate_root: bool = False
     track_convergence: bool = True
+    stepping: Optional[str] = None
     tags: Tuple[str, ...] = ()
     formatter: Optional[Callable[[Dict[str, object]], str]] = None
 
@@ -127,19 +133,22 @@ class ScenarioSpec:
         num_fragments: Optional[int] = None,
         seed: Optional[int] = None,
         track_convergence: Optional[bool] = None,
+        stepping: Optional[str] = None,
         **overrides,
     ) -> Dict[str, object]:
         """Execute the scenario and return its summary dictionary.
 
         ``overrides`` are forwarded to the dataset factory (campaign
         scenarios) or the custom runner; campaign parameters default to the
-        spec's values.  The summary always carries ``scenario``, ``family``
-        and ``executor`` keys so downstream records know what produced them.
+        spec's values.  The summary always carries ``scenario``, ``family``,
+        ``executor`` and ``stepping`` keys so downstream records know what
+        produced them.
         """
         iterations = self.iterations if iterations is None else iterations
         num_fragments = self.num_fragments if num_fragments is None else num_fragments
         seed = self.seed if seed is None else seed
         track = self.track_convergence if track_convergence is None else track_convergence
+        stepping = self.stepping if stepping is None else stepping
 
         if self.runner is not None:
             if track_convergence is not None:
@@ -147,6 +156,15 @@ class ScenarioSpec:
                 # convergence notion then raise a clear TypeError instead of
                 # silently ignoring the caller's toggle.
                 overrides = {**overrides, "track_convergence": track_convergence}
+            if stepping is not None:
+                # Forward the stepping policy only to runners that take it:
+                # swarm-less experiments (e.g. the NetPIPE probes) have no
+                # control loop, so a suite-wide default must not break them.
+                parameters = inspect.signature(self.runner).parameters
+                if "stepping" in parameters or any(
+                    p.kind == p.VAR_KEYWORD for p in parameters.values()
+                ):
+                    overrides = {**overrides, "stepping": stepping}
             summary = self.runner(
                 iterations=iterations,
                 num_fragments=num_fragments,
@@ -166,10 +184,14 @@ class ScenarioSpec:
                 track_convergence=track,
                 rotate_root=self.rotate_root,
                 executor=executor,
+                stepping=stepping,
             )
+        from repro.bittorrent.swarm import default_stepping
+
         summary["scenario"] = self.name
         summary["family"] = self.family
         summary["executor"] = executor.name if executor is not None else "serial"
+        summary.setdefault("stepping", stepping or default_stepping())
         summary["iterations_run"] = iterations
         summary["seed_used"] = seed
         return summary

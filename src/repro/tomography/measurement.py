@@ -52,9 +52,19 @@ class MeasurementRecord:
     def durations(self) -> List[float]:
         return [r.duration for r in self.results]
 
+    @property
+    def control_steps(self) -> List[int]:
+        """Per-iteration count of control points the swarm loop executed."""
+        return [r.control_steps for r in self.results]
+
     def total_measurement_time(self) -> float:
         """Simulated wall-clock cost of the whole campaign (sum of broadcasts)."""
         return float(sum(self.durations))
+
+    def total_control_steps(self) -> int:
+        """Control points executed across the campaign (the event mode's
+        figure of merit; see docs/simulation.md)."""
+        return int(sum(self.control_steps))
 
     def aggregate(self, iterations: Optional[int] = None) -> EdgeMetric:
         """Metric aggregated over the first ``iterations`` runs (all by default)."""

@@ -77,7 +77,9 @@ class TomographyResult:
 
 
 def default_swarm_config(
-    num_fragments: int = DEFAULT_SIMULATED_FRAGMENTS, **overrides
+    num_fragments: int = DEFAULT_SIMULATED_FRAGMENTS,
+    stepping: Optional[str] = None,
+    **overrides,
 ) -> SwarmConfig:
     """A sensible default swarm configuration for simulated campaigns.
 
@@ -88,7 +90,13 @@ def default_swarm_config(
     duration to preserve those ratios (otherwise a whole broadcast would fit
     in a handful of control steps and the concurrent-flow contention that the
     metric measures would never build up).
+
+    ``stepping`` selects the control-loop policy (``"fixed"``/``"event"``,
+    see docs/simulation.md); ``None`` defers to the ``REPRO_STEPPING``
+    environment variable and ultimately the event-stepped default.  Both
+    policies produce bit-for-bit identical measurements.
     """
+    from repro.bittorrent.swarm import default_stepping
     from repro.network.grid5000 import NODE_ACCESS_CAPACITY
 
     torrent = TorrentMeta.scaled(num_fragments)
@@ -99,6 +107,7 @@ def default_swarm_config(
         overrides.setdefault(
             "rechoke_interval", max(expected_duration / 4.0, overrides["control_dt"])
         )
+    overrides["stepping"] = stepping if stepping is not None else default_stepping()
     return SwarmConfig(torrent=torrent, **overrides)
 
 

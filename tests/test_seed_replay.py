@@ -7,6 +7,15 @@ seed must reproduce the *identical* fragment matrix: the refactor is a pure
 performance change, and any drift in candidate ordering, rate arithmetic
 tolerances or random-stream consumption shows up here immediately.
 
+The goldens are versioned per control-loop stepping mode (``GOLDENS`` maps
+``stepping -> scenario -> sha256``), as the ROADMAP's event-driven item
+required.  The event-stepped loop is *anchored* — byte state between control
+points is an analytic function of the last transition, never a per-tick
+accumulation — so both modes consume the random stream identically and the
+two golden columns are the same values: the event refactor preserved the
+original scalar fingerprints exactly.  If a future change has to break one
+column, re-pin it here and record why in docs/simulation.md.
+
 The three scenarios cover the distinct control paths: a multi-site WAN
 broadcast (TCP-window rate caps), a single-site broadcast across the
 Bordeaux bottleneck, and a long broadcast with frequent rechokes so the
@@ -19,17 +28,44 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.bittorrent.swarm import BitTorrentBroadcast, SwarmConfig
-from repro.bittorrent.torrent import TorrentMeta
+from repro.bittorrent.swarm import STEPPING_MODES, BitTorrentBroadcast, SwarmConfig
 from repro.network.grid5000 import (
     build_bordeaux_site,
     build_multi_site,
     default_cluster_of,
 )
 
+#: Pinned sha256 fingerprints, one column per stepping mode.
+GOLDENS = {
+    "fixed": {
+        "multi-site": (
+            "710d64c7a3d173b303ca281719138a6dd4b4b8120c08dc67d4be8343d5af4e76"
+        ),
+        "bordeaux": (
+            "5bb186984a0dab848081eae4ed26584934e6540c61e370a1c375f013142233eb"
+        ),
+        "rechoke-heavy": (
+            "86fd2346fdd63e59d6449fa8d589be80e71702c28907d6b7c6c6c4c86aa6167c"
+        ),
+    },
+    "event": {
+        "multi-site": (
+            "710d64c7a3d173b303ca281719138a6dd4b4b8120c08dc67d4be8343d5af4e76"
+        ),
+        "bordeaux": (
+            "5bb186984a0dab848081eae4ed26584934e6540c61e370a1c375f013142233eb"
+        ),
+        "rechoke-heavy": (
+            "86fd2346fdd63e59d6449fa8d589be80e71702c28907d6b7c6c6c4c86aa6167c"
+        ),
+    },
+}
+
 
 def broadcast_fingerprint(topology, num_fragments, seed, **config_kwargs):
     """Run one broadcast and hash its labels + integer fragment matrix."""
+    from repro.bittorrent.torrent import TorrentMeta
+
     meta = TorrentMeta(
         name="golden", fragment_size=16384, num_fragments=num_fragments
     )
@@ -43,40 +79,49 @@ def broadcast_fingerprint(topology, num_fragments, seed, **config_kwargs):
     return digest.hexdigest(), result
 
 
-def test_multi_site_broadcast_replays_scalar_implementation():
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_multi_site_broadcast_replays_scalar_implementation(stepping):
     topology = build_multi_site(
         {site: {default_cluster_of(site): 4} for site in ("bordeaux", "grenoble")}
     )
-    fingerprint, result = broadcast_fingerprint(topology, 80, seed=73)
-    assert fingerprint == (
-        "710d64c7a3d173b303ca281719138a6dd4b4b8120c08dc67d4be8343d5af4e76"
+    fingerprint, result = broadcast_fingerprint(
+        topology, 80, seed=73, stepping=stepping
     )
+    assert fingerprint == GOLDENS[stepping]["multi-site"]
+    assert result.stepping == stepping
     assert result.fragments.total_fragments() == 560.0
     assert result.distinct_edges == 7
     assert result.duration == pytest.approx(0.2)
 
 
-def test_bordeaux_bottleneck_broadcast_replays_scalar_implementation():
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_bordeaux_bottleneck_broadcast_replays_scalar_implementation(stepping):
     topology = build_bordeaux_site(bordeplage=5, bordereau=4, borderline=2)
-    fingerprint, result = broadcast_fingerprint(topology, 120, seed=2012)
-    assert fingerprint == (
-        "5bb186984a0dab848081eae4ed26584934e6540c61e370a1c375f013142233eb"
+    fingerprint, result = broadcast_fingerprint(
+        topology, 120, seed=2012, stepping=stepping
     )
+    assert fingerprint == GOLDENS[stepping]["bordeaux"]
     assert result.fragments.total_fragments() == 1200.0
     assert result.distinct_edges == 13
 
 
-def test_rechoke_heavy_broadcast_replays_scalar_implementation():
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_rechoke_heavy_broadcast_replays_scalar_implementation(stepping):
     """Short rechoke interval: tit-for-tat and optimistic slots churn hard."""
     topology = build_bordeaux_site(bordeplage=5, bordereau=4, borderline=2)
     fingerprint, result = broadcast_fingerprint(
-        topology, 2000, seed=99, rechoke_interval=0.3, optimistic_every=2
+        topology, 2000, seed=99, rechoke_interval=0.3, optimistic_every=2,
+        stepping=stepping,
     )
-    assert fingerprint == (
-        "86fd2346fdd63e59d6449fa8d589be80e71702c28907d6b7c6c6c4c86aa6167c"
-    )
+    assert fingerprint == GOLDENS[stepping]["rechoke-heavy"]
     assert result.fragments.total_fragments() == 20000.0
     assert result.distinct_edges == 51
+
+
+def test_golden_columns_coincide():
+    """The anchored event refactor did not fork the measurement semantics:
+    the per-mode golden columns are pinned to the same fingerprints."""
+    assert GOLDENS["fixed"] == GOLDENS["event"]
 
 
 def test_same_seed_is_deterministic_across_runs():
