@@ -135,7 +135,14 @@ def normalize(raw_json: Path, executor: str, profile: str, stepping: str) -> dic
             "executor": executor,
             "stepping": extra.get("stepping", stepping),
         }
-        for key in ("broadcasts", "control_steps", "control_steps_per_broadcast"):
+        for key in (
+            "broadcasts",
+            "control_steps",
+            "control_steps_per_broadcast",
+            "workload",
+            "workload_actors",
+            "interference_intensity",
+        ):
             if key in extra:
                 row[key] = extra[key]
         benchmarks.append(row)
@@ -160,28 +167,31 @@ def run_scenarios(
     for name, spec in specs:
         before = dict(RUN_TALLY)
         start = time.perf_counter()
-        spec.run(executor=executor, stepping=stepping)
+        summary = spec.run(executor=executor, stepping=stepping)
         elapsed = time.perf_counter() - start
         broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
         steps = RUN_TALLY["control_steps"] - before["control_steps"]
         print(f"  scenario:{name:<30s} {elapsed:8.3f}s  "
               f"({executor_name}, {stepping})")
-        rows.append(
-            {
-                "name": f"scenario:{name}",
-                "file": "repro/scenarios",
-                "wall_clock_s": elapsed,
-                "stddev_s": 0.0,
-                "rounds": 1,
-                "executor": executor_name,
-                "stepping": stepping,
-                "broadcasts": broadcasts,
-                "control_steps": steps,
-                "control_steps_per_broadcast": (
-                    round(steps / broadcasts, 1) if broadcasts else 0.0
-                ),
-            }
-        )
+        row = {
+            "name": f"scenario:{name}",
+            "file": "repro/scenarios",
+            "wall_clock_s": elapsed,
+            "stddev_s": 0.0,
+            "rounds": 1,
+            "executor": executor_name,
+            "stepping": stepping,
+            "broadcasts": broadcasts,
+            "control_steps": steps,
+            "control_steps_per_broadcast": (
+                round(steps / broadcasts, 1) if broadcasts else 0.0
+            ),
+        }
+        # Interference scenarios describe the contention they measured under.
+        for key in ("workload", "workload_actors", "interference_intensity"):
+            if key in summary:
+                row[key] = summary[key]
+        rows.append(row)
     rows.sort(key=lambda item: item["name"])
     return {**metadata(profile, stepping), "benchmarks": rows}
 

@@ -36,6 +36,14 @@ This "fluid BitTorrent" keeps the protocol features the paper identifies as
 the sources of measurement randomness — random initial peer choice, four
 upload slots, 35-peer sets, asymmetric broadcast data flow — while staying
 fast enough to run dozens of measurement iterations on a laptop.
+
+The loop itself is externally clockable: it is written as a generator of
+clock *requests* wrapped in a :class:`BroadcastSession`, so a broadcast can
+either own its clock (:meth:`BitTorrentBroadcast.run`, the degenerate
+driver) or run as one tenant of a shared multi-tenant simulation
+(:mod:`repro.workloads`), contending with rival broadcasts, generative
+cross traffic, capacity drift and peer churn on one fluid network —
+see docs/workloads.md.
 """
 
 from __future__ import annotations
@@ -217,6 +225,133 @@ class _ControlAgenda:
         return int(event.time)
 
 
+class BroadcastSession:
+    """One externally-clockable broadcast run.
+
+    The broadcast loop lives in :meth:`BitTorrentBroadcast._drive`, a
+    generator that *requests* clock movement instead of owning it.  A driver
+    fulfils each request and resumes the generator:
+
+    * ``("advance", step, time)`` — the loop committed to its next control
+      point; the driver must bring the shared fluid network to absolute
+      ``time`` (processing in-flight completions) and resume with ``None``.
+    * ``("sleep", from_step, target_step, time)`` — the event-stepped loop
+      proved the grid points up to ``target_step`` inert *under the current
+      rates* and wants to jump.  The driver resumes with the granted step:
+      ``target_step`` when nothing intervened, or any earlier grid step when
+      the environment changed (cross traffic, churn, capacity drift) —
+      landing early is always exact, since the fixed-dt oracle visits every
+      grid point.
+
+    :meth:`run_to_completion` is the degenerate driver: one session, a fresh
+    private fluid network, start time zero — byte-identical to the classic
+    ``BitTorrentBroadcast.run`` loop, which is now implemented on top of it.
+    The multi-tenant driver is :class:`repro.workloads.WorkloadEngine`,
+    which multiplexes many sessions (and generative traffic actors) over one
+    simulator agenda and one shared fluid network.
+
+    Churn (peer leave/rejoin mid-broadcast) is queued through
+    :meth:`request_leave`/:meth:`request_rejoin` and applied by the loop at
+    its next visited control point, identically in both stepping modes.
+    """
+
+    def __init__(
+        self,
+        broadcast: "BitTorrentBroadcast",
+        root: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[List[Tuple[float, str, str, int]]] = None,
+        fluid: Optional[FluidNetwork] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.broadcast = broadcast
+        self.fluid = (
+            fluid
+            if fluid is not None
+            else FluidNetwork(broadcast.topology, broadcast.routing)
+        )
+        self.start_time = float(start_time)
+        #: Resolved seeding host; published by the loop at setup.
+        self.root: Optional[str] = root
+        #: Peers currently churned out of the swarm (shared with the loop).
+        self.departed: Set[str] = set()
+        self.churn_events = 0
+        #: Applied (not merely requested) churn operations, by kind — a
+        #: queued request can still no-op at apply time (duplicate victim,
+        #: broadcast already finished), so injectors report these counts.
+        self.churn_applied = {"leave": 0, "rejoin": 0}
+        self.result: Optional[BroadcastResult] = None
+        self.finished = False
+        self._request: Optional[Tuple] = None
+        self._pipe_completed = False
+        self._pending_churn: List[Tuple[str, str, Optional[np.random.Generator]]] = []
+        self._started = False
+        self._gen = broadcast._drive(self, root, rng, trace)
+
+    # ------------------------------------------------------------------ #
+    # churn hooks (called by workload churn actors between resumes)
+    # ------------------------------------------------------------------ #
+    def request_leave(self, name: str) -> None:
+        """Queue a peer departure; applied at the next visited control point."""
+        self._pending_churn.append(("leave", name, None))
+
+    def request_rejoin(self, name: str, rng: np.random.Generator) -> None:
+        """Queue a peer rejoin; ``rng`` drives its fresh tracker announce."""
+        self._pending_churn.append(("rejoin", name, rng))
+
+    def _drain_churn(self) -> List[Tuple[str, str, Optional[np.random.Generator]]]:
+        ops, self._pending_churn = self._pending_churn, []
+        return ops
+
+    def _on_pipe_complete(self, transfer: FluidTransfer) -> None:
+        # A pipe ran its whole byte budget during a fluid advance: the loop
+        # must rebuild its slot-aligned vectors before the next read.
+        self._pipe_completed = True
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+    @property
+    def request(self) -> Optional[Tuple]:
+        """The pending clock request, or ``None`` before start / after finish."""
+        return self._request
+
+    def start(self) -> Optional[Tuple]:
+        """Prime the loop (runs the first control phase) and return its request.
+
+        Must be called with the shared clock at :attr:`start_time`: the
+        first control phase opens pipes anchored at that instant.
+        """
+        if self._started:
+            raise RuntimeError("broadcast session already started")
+        self._started = True
+        return self._resume(None)
+
+    def resume(self, value: Optional[int] = None) -> Optional[Tuple]:
+        """Fulfil the pending request and run the loop to its next one."""
+        return self._resume(value)
+
+    def _resume(self, value: Optional[int]) -> Optional[Tuple]:
+        try:
+            self._request = self._gen.send(value)
+        except StopIteration as stop:
+            self._request = None
+            self.result = stop.value
+            self.finished = True
+        return self._request
+
+    def run_to_completion(self) -> BroadcastResult:
+        """Standalone driver: fulfil every request against the own fluid clock."""
+        request = self.start() if not self._started else self._request
+        while not self.finished:
+            if request[0] == "advance":
+                self.fluid.advance_to(request[2])
+                request = self.resume(None)
+            else:  # "sleep": nothing can intervene, grant the full jump
+                request = self.resume(request[2])
+        return self.result
+
+
 class BitTorrentBroadcast:
     """Runs synchronized instrumented broadcasts on a topology.
 
@@ -292,12 +427,33 @@ class BitTorrentBroadcast:
             ``(time, downloader, uploader, fragment)`` in completion order —
             the sequence the stepping-equivalence tests compare across modes.
         """
+        return BroadcastSession(
+            self, root=root, rng=rng, trace=trace
+        ).run_to_completion()
+
+    def _drive(
+        self,
+        session: BroadcastSession,
+        root: Optional[str],
+        rng: Optional[np.random.Generator],
+        trace: Optional[List[Tuple[float, str, str, int]]],
+    ):
+        """The broadcast loop as a generator of clock requests.
+
+        See :class:`BroadcastSession` for the request protocol.  All times
+        are absolute: the loop's control grid starts at the session's
+        ``start_time`` (zero in the standalone path, so every expression
+        reduces bit-for-bit to the classic single-broadcast arithmetic).
+        """
         if rng is None:
             rng = np.random.default_rng()
         if root is None:
             root = self.hosts[0]
         if root not in self.hosts:
             raise ValueError(f"root {root!r} is not part of the swarm")
+        session.root = root
+        start = session.start_time
+        departed = session.departed
 
         cfg = self.config
         num_fragments = cfg.torrent.num_fragments
@@ -320,7 +476,7 @@ class BitTorrentBroadcast:
             for i, name in enumerate(self.hosts)
         }
         peers[root].make_seed()
-        peers[root].completion_time = 0.0
+        peers[root].completion_time = start
 
         selector = PieceSelector(
             num_fragments, random_first_threshold=cfg.random_first_threshold
@@ -360,7 +516,7 @@ class BitTorrentBroadcast:
             common = have_f @ have_f.T
             return common.diagonal()[:, None] - common
 
-        fluid = FluidNetwork(self.topology, self.routing)
+        fluid = session.fluid
         fragments = FragmentMatrix(self.hosts)
         availability = selector.availability
         random_first_threshold = selector.random_first_threshold
@@ -404,9 +560,9 @@ class BitTorrentBroadcast:
         incomplete: Set[str] = {name for name in self.hosts if name != root}
         incomplete_mask = np.ones(n, dtype=bool)
         incomplete_mask[root_index] = False
-        time = 0.0
+        time = start
         round_index = 0
-        next_rechoke = 0.0
+        next_rechoke = start
 
         def interested_in(uploader_index: int) -> List[str]:
             """Neighbours of the uploader that want something it has, by name."""
@@ -427,6 +583,7 @@ class BitTorrentBroadcast:
                 downloader,
                 size=float(cfg.torrent.size) * 4.0 + 1.0,
                 rate_cap=self._rate_cap(uploader, downloader),
+                on_complete=session._on_pipe_complete,
             )
             pipes[key] = transfer
             bisect.insort(pipe_order, key)
@@ -572,6 +729,65 @@ class BitTorrentBroadcast:
                 if downloader not in peers[uploader].unchoked:
                     close_pipe(uploader, downloader)
 
+        # ---- churn (peer leave/rejoin mid-broadcast) --------------------- #
+        # Applied at visited control points only, so both stepping modes see
+        # a churn event at the same grid point (the workload engine wakes a
+        # jumped-ahead session at the first grid point after the event).
+        def apply_leave(name: str) -> bool:
+            """Tear a peer out of the swarm; in-flight pipe progress is lost,
+            its fragment bitfield is kept (BitTorrent resume semantics)."""
+            if name == root or name in departed or name not in index:
+                return False
+            departed.add(name)
+            i = index[name]
+            for key in [k for k in pipe_order if name in k]:
+                close_pipe(key[0], key[1], keep_progress=False)
+            for key in [k for k in progress_carry if name in k]:
+                progress_carry.pop(key)
+            peer = peers[name]
+            for other in list(peer.neighbors):
+                other_peer = peers[other]
+                other_peer.neighbors.discard(name)
+                if name in other_peer.unchoked:
+                    other_peer.unchoked.discard(name)
+                    order = unchoked_order[other]
+                    pos = bisect.bisect_left(order, name)
+                    if pos < len(order) and order[pos] == name:
+                        del order[pos]
+                if other_peer.optimistic == name:
+                    other_peer.optimistic = None
+            neighbor_mask[i, :] = False
+            neighbor_mask[:, i] = False
+            peer.neighbors = set()
+            peer.unchoked = set()
+            peer.optimistic = None
+            peer.downloaded_this_round.clear()
+            unchoked_order[name] = []
+            # A departed peer must not gate broadcast completion while away.
+            incomplete.discard(name)
+            incomplete_mask[i] = False
+            return True
+
+        def apply_rejoin(name: str, churn_rng: np.random.Generator) -> bool:
+            """Re-admit a departed peer with a fresh tracker announce."""
+            if name not in departed:
+                return False
+            departed.discard(name)
+            i = index[name]
+            peer = peers[name]
+            present = [h for h in self.hosts if h != name and h not in departed]
+            picks = self.tracker.announce(name, present, churn_rng) if present else set()
+            peer.neighbors = set(picks)
+            for other in picks:
+                peers[other].neighbors.add(name)
+                j = index[other]
+                neighbor_mask[i, j] = True
+                neighbor_mask[j, i] = True
+            if peer._fragment_count < num_fragments:
+                incomplete.add(name)
+                incomplete_mask[i] = True
+            return True
+
         dt = cfg.control_dt
         max_steps = int(np.ceil(cfg.max_sim_time / dt)) + 1
         upload_slots = self.choking.upload_slots
@@ -596,10 +812,10 @@ class BitTorrentBroadcast:
         def next_rechoke_step(current: int) -> int:
             """First step at or after ``current + 1`` whose clock hits the timer."""
             target = next_rechoke - 1e-12
-            candidate = max(current + 1, int(np.ceil(target / dt)))
-            while candidate * dt < target:
+            candidate = max(current + 1, int(np.ceil((target - start) / dt)))
+            while start + candidate * dt < target:
                 candidate += 1
-            while candidate - 1 > current and (candidate - 1) * dt >= target:
+            while candidate - 1 > current and start + (candidate - 1) * dt >= target:
                 candidate -= 1
             return candidate
 
@@ -608,10 +824,10 @@ class BitTorrentBroadcast:
             transition = fluid.next_transition()
             if transition is None:
                 return max_steps
-            candidate = max(current + 1, int(np.ceil(transition / dt)) - 1)
-            while (candidate + 1) * dt < transition:
+            candidate = max(current + 1, int(np.ceil((transition - start) / dt)) - 1)
+            while start + (candidate + 1) * dt < transition:
                 candidate += 1
-            while candidate - 1 > current and candidate * dt >= transition:
+            while candidate - 1 > current and start + candidate * dt >= transition:
                 candidate -= 1
             return candidate
 
@@ -639,9 +855,9 @@ class BitTorrentBroadcast:
             # it against the exact step-body predicate (monotone in time),
             # so the jump lands on precisely the step the fixed loop acts at.
             candidate = min(current + max(int(steps_needed.min()), 1), cap)
-            while candidate - 1 > current and conversion_due(candidate * dt):
+            while candidate - 1 > current and conversion_due(start + candidate * dt):
                 candidate -= 1
-            while candidate < cap and not conversion_due((candidate + 1) * dt):
+            while candidate < cap and not conversion_due(start + (candidate + 1) * dt):
                 candidate += 1
             return candidate
 
@@ -651,9 +867,32 @@ class BitTorrentBroadcast:
                     f"broadcast did not complete within max_sim_time="
                     f"{cfg.max_sim_time}s ({len(incomplete)} hosts incomplete)"
                 )
-            time = step * dt
+            time = start + step * dt
             control_steps += 1
             step_active = False
+            if session._pending_churn:
+                for op, name, churn_rng in session._drain_churn():
+                    changed = (
+                        apply_leave(name) if op == "leave"
+                        else apply_rejoin(name, churn_rng)
+                    )
+                    if changed:
+                        step_active = True
+                        session.churn_events += 1
+                        session.churn_applied[op] += 1
+                if not incomplete:
+                    break
+                if pipes_dirty:
+                    # Departures closed pipes: realign the slot vectors now,
+                    # before flush_credits/moved_at read the old layout.
+                    rebuild_pipe_vectors()
+            if session._pipe_completed:
+                # A pipe budget completed outside this loop's own advance
+                # (during a jump landing, or while another tenant held the
+                # clock): treat it exactly like an advance-time completion.
+                session._pipe_completed = False
+                pipes_dirty = True
+                step_active = True
             if interest_by_matmul:
                 wanted = recompute_wanted()
 
@@ -726,10 +965,12 @@ class BitTorrentBroadcast:
                 rebuild_pipe_vectors()
 
             # --- data movement -------------------------------------------- #
-            time = (step + 1) * dt
-            if fluid.advance_to(time):
+            time = start + (step + 1) * dt
+            yield ("advance", step + 1, time)
+            if session._pipe_completed:
                 # A pipe transfer exhausted its byte budget and was detached;
                 # its recycled slot must not be read after the next rebuild.
+                session._pipe_completed = False
                 pipes_dirty = True
                 step_active = True
 
@@ -852,11 +1093,14 @@ class BitTorrentBroadcast:
             # case in conversion-dense configs), one predicate evaluation
             # replaces the whole agenda round.  A conservative answer only
             # ever visits a point the fixed loop visits too.
-            if pipe_order and conversion_due((step + 2) * dt):
+            if pipe_order and conversion_due(start + (step + 2) * dt):
                 step += 1
                 continue
             # Put the three event sources on the agenda and jump straight to
-            # the earliest — the grid points in between are provably inert.
+            # the earliest — the grid points in between are provably inert
+            # under the current rates.  The driver may grant an earlier
+            # landing (another tenant changed the rates, or churn arrived);
+            # extra visits are exact, since the fixed loop visits them all.
             rechoke_step = next_rechoke_step(step)
             fluid_step = next_fluid_step(step)
             horizon = min(rechoke_step, fluid_step, max_steps)
@@ -864,14 +1108,18 @@ class BitTorrentBroadcast:
             agenda.schedule("rechoke", rechoke_step)
             agenda.schedule("fluid", fluid_step)
             agenda.schedule("conversion", conv_step)
-            step = agenda.pop_next_step()
+            target = agenda.pop_next_step()
+            granted = yield ("sleep", step, target, start + target * dt)
+            if granted is not None:
+                target = max(min(granted, target), step + 1)
+            step = target
             # Bring the fluid clock to the landing point before its control
             # logic runs: the skipped span is transition-free (the jump is
             # capped by the next fluid transition), so this only moves the
             # clock — but pipe opens/closes at the landing step must anchor
             # their rate change at the landing time, exactly as the fixed
             # loop (whose clock always sits at the current grid point) does.
-            fluid.advance_to(step * dt)
+            fluid.advance_to(start + step * dt)
 
         RUN_TALLY["broadcasts"] += 1
         RUN_TALLY["control_steps"] += control_steps
@@ -880,7 +1128,15 @@ class BitTorrentBroadcast:
             name: (peer.completion_time if peer.completion_time is not None else time)
             for name, peer in peers.items()
         }
-        duration = max(t for name, t in completion_times.items() if name != root)
+        # Peers still churned out at the end never finished downloading; they
+        # must not stretch the broadcast duration to the last control point.
+        finishers = [
+            t for name, t in completion_times.items()
+            if name != root and name not in departed
+        ]
+        # Duration is the broadcast's span on its own clock (absolute end
+        # minus start); identical to the absolute end for zero-start runs.
+        duration = (max(finishers) if finishers else time) - start
         symmetric = fragments.symmetric_weights()
         distinct_edges = int(np.count_nonzero(np.triu(symmetric, k=1)))
         return BroadcastResult(

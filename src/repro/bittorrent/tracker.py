@@ -61,6 +61,25 @@ class Tracker:
                 connections[other].add(name)
         return connections
 
+    def announce(
+        self, name: str, present: Sequence[str], rng: np.random.Generator
+    ) -> Set[str]:
+        """Peer set handed to a peer (re)joining a live swarm.
+
+        Mirrors one row of :meth:`build_connections`: the joiner learns a
+        bounded random subset of the currently-present peers.  The symmetric
+        closure (the discovered side also opening the connection) is the
+        caller's job, as it owns the live neighbour state.  Used by the
+        churn actors of :mod:`repro.workloads` when a departed peer rejoins
+        mid-broadcast.
+        """
+        others = [p for p in present if p != name]
+        if not others:
+            return set()
+        count = min(self.max_peers, len(others))
+        picks = rng.choice(len(others), size=count, replace=False)
+        return {others[i] for i in picks}
+
     def connection_density(self, connections: Dict[str, Set[str]]) -> float:
         """Fraction of all possible peer pairs that are connected."""
         n = len(connections)

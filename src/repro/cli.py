@@ -8,7 +8,9 @@ registered scenario, reachable through three generic subcommands:
 * ``python -m repro list`` — the registered scenarios, grouped by family;
 * ``python -m repro run B-G-T --per-site 8 --iterations 10`` — run one
   scenario (``--executor process`` fans the campaign out over worker
-  processes, bit-for-bit identical to serial);
+  processes, bit-for-bit identical to serial; ``--workload cross-heavy``
+  embeds every measured broadcast in a multi-tenant interference workload,
+  see docs/workloads.md);
 * ``python -m repro sweep HETERO-UPLINK --param squeeze --values 1.0,0.5,0.2``
   — run a scenario across a parameter grid and tabulate the outcomes.
 
@@ -34,6 +36,7 @@ from repro.scenarios import (
     jsonable_summary,
 )
 from repro.scenarios.spec import CAMPAIGN_PARAMS
+from repro.workloads import WORKLOAD_NAMES
 
 #: Keys preferred for the one-line-per-run sweep table (first ones present win).
 _SWEEP_COLUMNS = (
@@ -159,6 +162,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     summary = spec.run(
         executor=_make_executor(args),
         stepping=args.stepping,
+        workload=args.workload,
         **_campaign_kwargs(args),
         **overrides,
     )
@@ -207,7 +211,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             overrides[param] = value
         summary = spec.run(executor=executor, stepping=args.stepping,
-                           **kwargs, **overrides)
+                           workload=args.workload, **kwargs, **overrides)
         row = jsonable_summary(summary)
         row[param] = value if not isinstance(value, tuple) else list(value)
         rows.append(row)
@@ -259,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="swarm control-loop policy (event = jump between "
                             "state changes; results are bit-identical to "
                             "fixed, see docs/simulation.md)")
+        p.add_argument("--workload", choices=WORKLOAD_NAMES, default=None,
+                       help="run the measurement campaign inside a multi-"
+                            "tenant interference workload (concurrent "
+                            "broadcasts, cross traffic, churn, capacity "
+                            "drift on one shared clock; docs/workloads.md)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --executor process")
         p.add_argument("--json", metavar="PATH", default=None,

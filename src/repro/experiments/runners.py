@@ -59,8 +59,20 @@ def run_dataset_clustering(
     rotate_root: bool = False,
     executor: Optional[CampaignExecutor] = None,
     stepping: Optional[str] = None,
+    workload=None,
 ) -> Dict[str, object]:
-    """Run the full tomography pipeline on a dataset and summarise the outcome."""
+    """Run the full tomography pipeline on a dataset and summarise the outcome.
+
+    ``workload`` (a :class:`~repro.workloads.WorkloadSpec` or preset name)
+    embeds every measured broadcast in a multi-tenant workload — concurrent
+    broadcasts, cross traffic, churn, capacity drift on a shared clock —
+    instead of the paper's idle network (``repro run <scenario> --workload
+    cross-heavy``; see docs/workloads.md).
+    """
+    if workload is not None:
+        from repro.workloads import workload_from_name
+
+        workload = workload_from_name(workload)
     config = default_swarm_config(num_fragments, stepping=stepping)
     pipeline = TomographyPipeline(
         ds.topology,
@@ -70,9 +82,10 @@ def run_dataset_clustering(
         seed=seed,
         rotate_root=rotate_root,
         executor=_resolve_executor(executor),
+        workload=workload,
     )
     result = pipeline.run(iterations, track_convergence=track_convergence)
-    return {
+    summary = {
         "dataset": ds.name,
         "hosts": ds.num_hosts,
         "iterations": iterations,
@@ -89,6 +102,16 @@ def run_dataset_clustering(
         "result": result,
         "ground_truth": ds.ground_truth,
     }
+    if workload is not None:
+        from repro.tomography.interference import summarize_workload_stats
+
+        summary.update(workload.metadata())
+        summary.update(summarize_workload_stats(result.record.workload_stats))
+        if workload.actors:
+            # The workload campaign path is serial-only: the measurement
+            # never consulted the executor, so the record must not claim it.
+            summary["executor"] = "serial"
+    return summary
 
 
 def run_named_dataset(

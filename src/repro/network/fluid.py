@@ -152,6 +152,10 @@ class FluidNetwork:
         #: current ``_rate`` vector governs ``[_anchor, next transition)``.
         self._anchor = 0.0
         self.completed: List[FluidTransfer] = []
+        #: Whether finished transfers are appended to :attr:`completed`.
+        #: Long-running multi-tenant workloads (hours of generative cross
+        #: traffic) switch this off so memory stays O(active transfers).
+        self.retain_completed = True
         #: Monotone count of flow-set transitions (arrivals, cancellations,
         #: completions); callers snapshot it to detect rate changes.
         self.transitions = 0
@@ -260,6 +264,38 @@ class FluidNetwork:
     def active_transfers(self) -> List[FluidTransfer]:
         return list(self._active.values())
 
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight transfers (O(1))."""
+        return len(self._active)
+
+    def set_link_capacity(self, link: str, capacity: float) -> None:
+        """Change one link's capacity, settling the byte state first.
+
+        The change is a *transition*: bytes accumulated under the old rates
+        are materialized at the current clock, the allocation is marked
+        stale, and :attr:`transitions` is bumped so observers (the workload
+        engine's interference wakeups, the swarm's jump predicates) know the
+        piecewise-constant rate window ended here.  The capacity-drift
+        actors of :mod:`repro.workloads` are the primary caller.
+        """
+        index = self.routing.link_index.get(link)
+        if index is None:
+            raise KeyError(f"unknown link {link!r}")
+        if capacity == self._flows.link_capacity(index):
+            return
+        self._materialize(self.now)
+        self._flows.set_link_capacity(index, capacity)
+        self._dirty = True
+        self.transitions += 1
+
+    def link_capacity(self, link: str) -> float:
+        """Current capacity of a link by name (bytes/second)."""
+        index = self.routing.link_index.get(link)
+        if index is None:
+            raise KeyError(f"unknown link {link!r}")
+        return self._flows.link_capacity(index)
+
     # ------------------------------------------------------------------ #
     # rate allocation
     # ------------------------------------------------------------------ #
@@ -356,14 +392,21 @@ class FluidNetwork:
                 break
             self._materialize(completion)
             credited = self._remaining[slots]
-            done = np.flatnonzero(credited <= 1e-9)
+            # A residual that would drain within one representable clock tick
+            # is done *now*: the clock cannot advance by less than an ulp, so
+            # leaving it active would spin this loop at a frozen time.  (Such
+            # residuals arise when another tenant's completion materializes
+            # the byte state a hair before this flow's own finish.)
+            tick = np.spacing(max(abs(completion), 1.0))
+            done = np.flatnonzero(credited <= np.maximum(1e-9, rates * tick))
             for position in done:
                 transfer = self._by_slot[int(slots[position])]
                 transfer.finish_time = completion
                 self._remaining[transfer._slot] = 0.0
                 self._detach(transfer)
                 del self._active[transfer.transfer_id]
-                self.completed.append(transfer)
+                if self.retain_completed:
+                    self.completed.append(transfer)
                 finished.append(transfer)
         self.now = max(self.now, target)
         for transfer in finished:

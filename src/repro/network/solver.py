@@ -151,6 +151,29 @@ class FlowSet:
         return np.flatnonzero(self._active)
 
     # ------------------------------------------------------------------ #
+    # capacity changes
+    # ------------------------------------------------------------------ #
+    def link_capacity(self, link: int) -> float:
+        """Current capacity of link ``link`` (bytes/second)."""
+        if not 0 <= link < self.num_links:
+            raise IndexError(f"link index {link} out of range")
+        return float(self._caps[link])
+
+    def set_link_capacity(self, link: int, capacity: float) -> None:
+        """Change one link's capacity; takes effect at the next :meth:`solve`.
+
+        Capacity drift is a first-class transition of the multi-tenant
+        workload model: callers (``FluidNetwork.set_link_capacity``) must
+        settle any anchored byte state *before* mutating, exactly as for a
+        flow arrival.
+        """
+        if not 0 <= link < self.num_links:
+            raise IndexError(f"link index {link} out of range")
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self._caps[link] = float(capacity)
+
+    # ------------------------------------------------------------------ #
     # solving
     # ------------------------------------------------------------------ #
     def solve(self) -> np.ndarray:

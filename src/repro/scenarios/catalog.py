@@ -386,3 +386,177 @@ def _scenario_hetero(
     per_site: int = 6, squeeze: float = 1.0
 ) -> Dataset:
     return hetero_uplink_dataset(per_site=per_site, squeeze=squeeze)
+
+
+# ---------------------------------------------------------------------- #
+# interference families: tomography under multi-tenant workloads
+# (repro.workloads + repro.tomography.interference; docs/workloads.md)
+# ---------------------------------------------------------------------- #
+def _format_interference(summary: Dict[str, object]) -> str:
+    lines = [
+        f"scenario {summary['scenario']} (family {summary['family']}, "
+        f"workload {summary['workload']})",
+        f"dataset {summary['dataset']}: {summary['hosts']} hosts, "
+        f"{summary['iterations']} iterations, "
+        f"{summary['workload_actors']} tenants per broadcast",
+        f"clusters found: {summary['found_clusters']} "
+        f"(expected: {summary['expected_clusters']})",
+        f"overlapping NMI: {summary['measured_nmi']:.3f} "
+        f"(noise threshold {summary['noise_threshold']:.2f} -> "
+        f"{'recovered' if summary['recovered'] else 'DEGRADED'})",
+    ]
+    if summary.get("background_flows"):
+        lines.append(
+            f"cross traffic: {summary['background_flows']} flows, "
+            f"{summary['background_bytes_offered'] / 1e6:.1f} MB offered"
+        )
+    if summary.get("churn_leaves"):
+        lines.append(
+            f"churn: {summary['churn_leaves']} departures, "
+            f"{summary['churn_rejoins']} rejoins"
+        )
+    if summary.get("capacity_changes"):
+        lines.append(f"capacity drift events: {summary['capacity_changes']}")
+    if summary.get("rival_broadcasts"):
+        lines.append(f"rival broadcasts: {summary['rival_broadcasts']}")
+    return "\n".join(lines)
+
+
+def _reject_workload_override(name: str, workload, params: str) -> None:
+    """Interference scenarios *are* their workload: an explicit ``--workload``
+    would silently shadow the family's sweepable parameters (a sweep over
+    ``intensity`` would tabulate identical runs under different labels), so
+    the conflict is rejected instead of resolved."""
+    if workload is not None:
+        raise ValueError(
+            f"scenario {name} builds its own workload from its parameters "
+            f"({params}); drop --workload, or layer a preset workload under "
+            "a campaign scenario instead (e.g. `repro run G-T --workload "
+            "cross-heavy`)"
+        )
+
+
+def _interference_dataset(per_site: int) -> Dataset:
+    """The interference families' default substrate: two flat sites whose
+    planted structure the recovery must keep finding under load."""
+    return dataset("G-T", per_site=per_site)
+
+
+@runner_scenario("RIVAL-BROADCAST", family="rival-broadcast",
+                 iterations=4, num_fragments=240,
+                 formatter=_format_interference,
+                 tags=("beyond-paper", "interference", "sweepable"),
+                 description="concurrent-broadcast contention: rival swarms "
+                             "share clock and links with the measured one")
+def _scenario_rival(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    rivals: int = 1,
+    stagger: float = 0.3,
+    noise_threshold: float = 0.85,
+    stepping: Optional[str] = None,
+    workload=None,
+):
+    from repro.tomography.interference import run_interference_study
+    from repro.workloads import rival_broadcast_workload
+
+    _reject_workload_override("RIVAL-BROADCAST", workload, "rivals/stagger")
+    wl = rival_broadcast_workload(rivals=rivals, stagger=stagger)
+    return run_interference_study(
+        _interference_dataset(per_site), wl,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+    )
+
+
+@runner_scenario("CROSS-TRAFFIC", family="cross-traffic",
+                 iterations=4, num_fragments=240,
+                 formatter=_format_interference,
+                 tags=("beyond-paper", "interference", "sweepable"),
+                 description="generative Poisson/on-off cross traffic; sweep "
+                             "`intensity` to chart where recovery degrades")
+def _scenario_cross_traffic(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    intensity: float = 0.5,
+    sources: int = 2,
+    bulk: bool = False,
+    noise_threshold: float = 0.8,
+    stepping: Optional[str] = None,
+    workload=None,
+):
+    from repro.tomography.interference import run_interference_study
+    from repro.workloads import cross_traffic_workload
+
+    _reject_workload_override("CROSS-TRAFFIC", workload, "intensity/sources/bulk")
+    wl = cross_traffic_workload(intensity=intensity, sources=sources, bulk=bulk)
+    return run_interference_study(
+        _interference_dataset(per_site), wl,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+    )
+
+
+@runner_scenario("CHURN", family="churn",
+                 iterations=4, num_fragments=240,
+                 formatter=_format_interference,
+                 tags=("beyond-paper", "interference", "sweepable"),
+                 description="peer churn: leave/rejoin mid-broadcast; sweep "
+                             "`churn_rate` for the degradation curve")
+def _scenario_churn(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    churn_rate: float = 1.0,
+    downtime_frac: float = 0.15,
+    noise_threshold: float = 0.8,
+    stepping: Optional[str] = None,
+    workload=None,
+):
+    from repro.tomography.interference import run_interference_study
+    from repro.workloads import churn_workload
+
+    _reject_workload_override("CHURN", workload, "churn_rate/downtime_frac")
+    wl = churn_workload(churn_rate=churn_rate, downtime_frac=downtime_frac)
+    return run_interference_study(
+        _interference_dataset(per_site), wl,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+    )
+
+
+@runner_scenario("MIXED-TENANCY", family="cross-traffic",
+                 iterations=4, num_fragments=240,
+                 formatter=_format_interference,
+                 tags=("beyond-paper", "interference"),
+                 description="everything at once: rival broadcast, cross "
+                             "traffic, capacity drift and churn")
+def _scenario_mixed_tenancy(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    intensity: float = 0.5,
+    noise_threshold: float = 0.75,
+    stepping: Optional[str] = None,
+    workload=None,
+):
+    from repro.tomography.interference import run_interference_study
+    from repro.workloads import mixed_workload
+
+    _reject_workload_override("MIXED-TENANCY", workload, "intensity")
+    wl = mixed_workload(intensity=intensity)
+    return run_interference_study(
+        _interference_dataset(per_site), wl,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+    )

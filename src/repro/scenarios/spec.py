@@ -134,15 +134,18 @@ class ScenarioSpec:
         seed: Optional[int] = None,
         track_convergence: Optional[bool] = None,
         stepping: Optional[str] = None,
+        workload: Optional[object] = None,
         **overrides,
     ) -> Dict[str, object]:
         """Execute the scenario and return its summary dictionary.
 
         ``overrides`` are forwarded to the dataset factory (campaign
         scenarios) or the custom runner; campaign parameters default to the
-        spec's values.  The summary always carries ``scenario``, ``family``,
-        ``executor`` and ``stepping`` keys so downstream records know what
-        produced them.
+        spec's values.  ``workload`` (a preset name or
+        :class:`~repro.workloads.WorkloadSpec`) layers a multi-tenant
+        interference workload under the measurement campaign.  The summary
+        always carries ``scenario``, ``family``, ``executor`` and
+        ``stepping`` keys so downstream records know what produced them.
         """
         iterations = self.iterations if iterations is None else iterations
         num_fragments = self.num_fragments if num_fragments is None else num_fragments
@@ -156,15 +159,21 @@ class ScenarioSpec:
                 # convergence notion then raise a clear TypeError instead of
                 # silently ignoring the caller's toggle.
                 overrides = {**overrides, "track_convergence": track_convergence}
+            parameters = inspect.signature(self.runner).parameters
+            accepts_kwargs = any(
+                p.kind == p.VAR_KEYWORD for p in parameters.values()
+            )
             if stepping is not None:
                 # Forward the stepping policy only to runners that take it:
                 # swarm-less experiments (e.g. the NetPIPE probes) have no
                 # control loop, so a suite-wide default must not break them.
-                parameters = inspect.signature(self.runner).parameters
-                if "stepping" in parameters or any(
-                    p.kind == p.VAR_KEYWORD for p in parameters.values()
-                ):
+                if "stepping" in parameters or accepts_kwargs:
                     overrides = {**overrides, "stepping": stepping}
+            if workload is not None:
+                # Same contract for the interference workload: an explicit
+                # request against a runner with no measurement campaign
+                # (NetPIPE) raises instead of being silently dropped.
+                overrides = {**overrides, "workload": workload}
             summary = self.runner(
                 iterations=iterations,
                 num_fragments=num_fragments,
@@ -185,12 +194,18 @@ class ScenarioSpec:
                 rotate_root=self.rotate_root,
                 executor=executor,
                 stepping=stepping,
+                workload=workload,
             )
         from repro.bittorrent.swarm import default_stepping
 
         summary["scenario"] = self.name
         summary["family"] = self.family
-        summary["executor"] = executor.name if executor is not None else "serial"
+        # Runners that cannot fan out (workload campaigns are serial-only)
+        # pre-stamp their actual backend; everything else records the one it
+        # was handed.
+        summary.setdefault(
+            "executor", executor.name if executor is not None else "serial"
+        )
         summary.setdefault("stepping", stepping or default_stepping())
         summary["iterations_run"] = iterations
         summary["seed_used"] = seed

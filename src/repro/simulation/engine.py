@@ -48,14 +48,24 @@ class Event:
     order: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Opaque owner tag (e.g. the workload actor that scheduled the event);
+    #: lets a shared-agenda driver attribute each dispatch to its actor.
+    owner: Optional[object] = field(default=None, compare=False, repr=False)
     _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so that it will be skipped when its time comes."""
         if not self.cancelled:
             self.cancelled = True
-            if self._queue is not None:
-                self._queue._live -= 1
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
+                queue._maybe_compact()
+
+
+#: Heaps smaller than this are never compacted: the O(n) rebuild would cost
+#: more than the handful of dead entries it reclaims.
+_COMPACT_MIN_HEAP = 64
 
 
 class EventQueue:
@@ -64,6 +74,11 @@ class EventQueue:
     The number of live (non-cancelled) events is tracked with a counter
     maintained on push/pop/cancel, so ``len(queue)`` is O(1) instead of a
     full heap scan — simulations poll :attr:`Simulator.pending` freely.
+
+    Cancelled entries are dropped lazily: normally when they surface at the
+    heap top, but once they outnumber the live events (churn and rechoke
+    cancellations produce exactly this pattern) the whole heap is compacted
+    in one pass, so the memory footprint stays O(live events).
     """
 
     def __init__(self) -> None:
@@ -74,9 +89,34 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: float, callback: Callable[[], None]) -> Event:
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries exceed the live ones.
+
+        Events compare by ``(time, order)``, so re-heapifying the surviving
+        entries preserves the deterministic dispatch order exactly.
+        """
+        heap = self._heap
+        if len(heap) < _COMPACT_MIN_HEAP or len(heap) - self._live <= self._live:
+            return
+        survivors = []
+        for event in heap:
+            if event.cancelled:
+                event._queue = None
+            else:
+                survivors.append(event)
+        heapq.heapify(survivors)
+        self._heap = survivors
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        owner: Optional[object] = None,
+    ) -> Event:
         """Insert a callback at ``time`` and return the event handle."""
-        event = Event(time=time, order=next(self._counter), callback=callback)
+        event = Event(
+            time=time, order=next(self._counter), callback=callback, owner=owner
+        )
         event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -141,8 +181,17 @@ class Simulator:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        owner: Optional[object] = None,
+    ) -> Event:
         """Schedule ``callback`` at absolute time ``time``.
+
+        ``owner`` is an opaque tag carried on the event; shared-agenda
+        drivers (the multi-tenant workload engine) use it to attribute each
+        dispatch to the actor that scheduled it.
 
         Raises
         ------
@@ -155,13 +204,41 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past (now={self._now}, requested={time})"
             )
-        return self._queue.push(max(time, self._now), callback)
+        return self._queue.push(max(time, self._now), callback, owner=owner)
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        owner: Optional[object] = None,
+    ) -> Event:
         """Schedule ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, owner=owner)
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next live event, or ``None`` when idle.
+
+        Lets an external driver interleave other work (e.g. fluid-network
+        transitions) between events without popping them.
+        """
+        return self._queue.peek_time()
+
+    def step(self) -> Optional[Event]:
+        """Pop and dispatch exactly one event; return it (``None`` when idle).
+
+        The workload engine drives the shared agenda with this instead of
+        :meth:`run` so it can advance the fluid network to each event's time
+        before the callback fires.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return None
+        self._now = max(self._now, event.time)
+        event.callback()
+        self.events_processed += 1
+        return event
 
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""

@@ -9,9 +9,13 @@
 * :mod:`repro.tomography.netpipe` — NetPIPE-style point-to-point reference
   probes;
 * :mod:`repro.tomography.baselines` — classical saturation tomography
-  (pairwise and triplet interference probing) used as cost/quality baselines.
+  (pairwise and triplet interference probing) used as cost/quality baselines;
+* :mod:`repro.tomography.interference` — robustness of the recovery when the
+  measured broadcasts share the cluster with other tenants (multi-tenant
+  workloads: concurrent broadcasts, cross traffic, churn, capacity drift).
 """
 
+from repro.tomography.interference import run_interference_study
 from repro.tomography.metric import EdgeMetric, aggregate_mean, metric_graph
 from repro.tomography.measurement import MeasurementCampaign, MeasurementRecord
 from repro.tomography.pipeline import TomographyPipeline, TomographyResult
@@ -39,4 +43,5 @@ __all__ = [
     "BaselineResult",
     "PairwiseSaturationTomography",
     "TripletSaturationTomography",
+    "run_interference_study",
 ]

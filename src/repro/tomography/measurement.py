@@ -39,6 +39,10 @@ class MeasurementRecord:
 
     hosts: List[str]
     results: List[BroadcastResult] = field(default_factory=list)
+    #: Per-iteration actor stats when the campaign ran inside a workload
+    #: (one list of per-actor dicts per iteration); empty for single-tenant
+    #: campaigns.
+    workload_stats: List[List[Dict[str, object]]] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -129,6 +133,15 @@ class MeasurementCampaign:
         derived statelessly from ``(seed, "broadcast", i)`` and results are
         reassembled in iteration order, any backend produces a record
         bit-for-bit identical to the serial one.
+    workload:
+        Optional :class:`~repro.workloads.WorkloadSpec`: every measured
+        broadcast then runs inside a multi-tenant
+        :class:`~repro.workloads.WorkloadEngine` with the spec's background
+        actors (rival broadcasts, cross traffic, churn, capacity drift)
+        sharing the clock and the fluid network.  The measured broadcast
+        keeps the standard ``(seed, "broadcast", i)`` stream, so the empty
+        workload reproduces the single-tenant campaign bit for bit.
+        Workload campaigns run in-process (``executor`` is not consulted).
     """
 
     def __init__(
@@ -139,6 +152,7 @@ class MeasurementCampaign:
         seed: int = 0,
         rotate_root: bool = False,
         executor: Optional["CampaignExecutor"] = None,
+        workload=None,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -146,6 +160,14 @@ class MeasurementCampaign:
         self.streams = RandomStreams(seed)
         self.rotate_root = rotate_root
         self.executor = executor
+        if workload is not None:
+            from repro.workloads import workload_from_name
+
+            workload = workload_from_name(workload)
+            if not workload.actors:
+                # The empty workload is the classic single-tenant campaign.
+                workload = None
+        self.workload = workload
         self.routing = RoutingTable(topology)
         self._broadcast = BitTorrentBroadcast(
             topology, config, hosts=self.hosts, routing=self.routing
@@ -177,7 +199,25 @@ class MeasurementCampaign:
         if iterations < 1:
             raise ValueError("iterations must be at least 1")
         record = MeasurementRecord(hosts=list(self.hosts))
-        if self.executor is None:
+        if self.workload is not None:
+            # Multi-tenant measurement: each iteration is its own workload
+            # engine run (fresh background actors, same shared substrate).
+            from repro.workloads import run_workload_iteration
+
+            for i in range(iterations):
+                result, stats = run_workload_iteration(
+                    self.topology,
+                    self.config,
+                    self.hosts,
+                    self.root_of(i),
+                    self.streams.seed,
+                    i,
+                    self.workload,
+                    routing=self.routing,
+                )
+                record.results.append(result)
+                record.workload_stats.append(stats)
+        elif self.executor is None:
             for i in range(iterations):
                 record.results.append(self.run_iteration(i))
         else:

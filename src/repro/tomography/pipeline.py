@@ -135,6 +135,12 @@ class TomographyPipeline:
         the measurement iterations fan out through; ``None`` keeps the
         serial in-process loop.  Records are bit-for-bit identical across
         backends.
+    workload:
+        Optional :class:`~repro.workloads.WorkloadSpec`: the measurement
+        phase then runs every broadcast inside that multi-tenant workload
+        (concurrent broadcasts, cross traffic, churn, capacity drift on a
+        shared clock) — the interference-robustness setting of
+        ``docs/workloads.md``.
     """
 
     def __init__(
@@ -147,6 +153,7 @@ class TomographyPipeline:
         rotate_root: bool = False,
         clusterer: Optional[Callable[[WeightedGraph], Partition]] = None,
         executor=None,
+        workload=None,
     ) -> None:
         self.topology = topology
         self.hosts = list(hosts) if hosts is not None else topology.host_names
@@ -167,6 +174,7 @@ class TomographyPipeline:
             seed=seed,
             rotate_root=rotate_root,
             executor=executor,
+            workload=workload,
         )
         self._clusterer = clusterer or (lambda graph: louvain(graph).partition)
 

@@ -1,0 +1,59 @@
+"""Multi-tenant workload simulation: many tenants, one clock, one network.
+
+See :mod:`repro.workloads.engine` for the shared-agenda model,
+:mod:`repro.workloads.actors` for the tenant catalogue and
+:mod:`repro.workloads.spec` for declarative composition — and
+``docs/workloads.md`` for the design notes and measured noise thresholds.
+"""
+
+from repro.workloads.actors import (
+    BroadcastActor,
+    BulkTransferActor,
+    CapacityDriftActor,
+    ChurnActor,
+    OnOffTrafficActor,
+    PoissonTrafficActor,
+    WorkloadActor,
+)
+from repro.workloads.engine import WorkloadEngine
+from repro.workloads.spec import (
+    NONE,
+    WORKLOAD_NAMES,
+    WORKLOAD_PRESETS,
+    ActorSpec,
+    WorkloadSpec,
+    actor,
+    capacity_drift_workload,
+    churn_workload,
+    cross_traffic_workload,
+    expected_broadcast_duration,
+    mixed_workload,
+    rival_broadcast_workload,
+    run_workload_iteration,
+    workload_from_name,
+)
+
+__all__ = [
+    "ActorSpec",
+    "BroadcastActor",
+    "BulkTransferActor",
+    "CapacityDriftActor",
+    "ChurnActor",
+    "NONE",
+    "OnOffTrafficActor",
+    "PoissonTrafficActor",
+    "WORKLOAD_NAMES",
+    "WORKLOAD_PRESETS",
+    "WorkloadActor",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "actor",
+    "capacity_drift_workload",
+    "churn_workload",
+    "cross_traffic_workload",
+    "expected_broadcast_duration",
+    "mixed_workload",
+    "rival_broadcast_workload",
+    "run_workload_iteration",
+    "workload_from_name",
+]

@@ -1,0 +1,144 @@
+"""Edge cases of the anchored fluid engine under multi-tenant transitions.
+
+Covers the corners the workload engine leans on:
+``FluidNetwork.next_transition``/``advance_to`` with (effectively)
+zero-rate flows, simultaneous completions, sub-clock-tick residuals, and a
+capacity change landing exactly on a predicted transition time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.fluid import FluidNetwork
+from repro.network.topology import MBPS
+
+
+class TestZeroRateFlows:
+    def test_next_transition_none_when_nothing_moves(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        # A positive-but-negligible rate cap: the allocator honours it, the
+        # transition predictor must treat the flow as stalled, not schedule
+        # a completion aeons away.
+        net.start_transfer("left-0", "right-0", 1e6, rate_cap=1e-13)
+        assert net.next_transition() is None
+
+    def test_advance_to_credits_nothing_to_stalled_flows(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        stalled = net.start_transfer("left-0", "right-0", 1e6, rate_cap=1e-13)
+        finished = net.advance_to(100.0)
+        assert finished == []
+        assert net.now == 100.0
+        assert stalled.transferred == pytest.approx(0.0, abs=1e-9)
+        assert not stalled.done
+
+    def test_stalled_flow_resumes_when_a_real_one_joins(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        stalled = net.start_transfer("left-0", "right-0", 1e6, rate_cap=1e-13)
+        net.advance_to(10.0)
+        mover = net.start_transfer("left-1", "left-2", 1e6)
+        transition = net.next_transition()
+        assert transition is not None
+        net.advance_to(transition)
+        assert mover.done
+        assert not stalled.done
+
+
+class TestSimultaneousCompletions:
+    def test_equal_flows_finish_together_in_slot_order(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        first = net.start_transfer("left-0", "left-1", 5e6)
+        second = net.start_transfer("right-0", "right-1", 5e6)
+        transition = net.next_transition()
+        finished = net.advance_to(transition + 1e-6)
+        assert {t.transfer_id for t in finished} == {
+            first.transfer_id, second.transfer_id
+        }
+        # Deterministic completion order (slot order) and identical times.
+        assert [t.transfer_id for t in finished] == sorted(
+            t.transfer_id for t in finished
+        )
+        assert finished[0].finish_time == finished[1].finish_time
+        assert all(t.done for t in finished)
+
+    def test_sub_tick_residual_completes_instead_of_spinning(self, dumbbell_topology):
+        """A residual that would drain within one clock ulp is done now.
+
+        Regression for the multi-tenant deadlock: another tenant's
+        completion materializes the byte state a hair before a flow's own
+        finish, leaving a femto-residual that no representable clock
+        advance could drain."""
+        net = FluidNetwork(dumbbell_topology)
+        net.advance_to(1.0)
+        transfer = net.start_transfer("left-0", "left-1", 1e6)
+        slot = transfer._slot
+        net._materialize(net.now)
+        # Pin an artificial residual far below rate x ulp(clock).
+        net._remaining[slot] = 5e-9
+        finished = net.advance_to(1.0 + 1e-9)
+        assert transfer in finished
+        assert transfer.done
+
+
+class TestCapacityChangeTransitions:
+    def test_change_landing_exactly_on_predicted_transition(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        short = net.start_transfer("left-0", "left-1", 1e6)
+        long = net.start_transfer("left-2", "right-0", 50e6)
+        predicted = net.next_transition()
+        finished = net.advance_to(predicted)
+        assert short in finished
+        moved_before = long.transferred
+        # The drift event lands on the very transition instant: the byte
+        # state must be settled under the old rates before the new capacity
+        # takes effect.
+        net.set_link_capacity("bottleneck", 5 * MBPS)
+        assert long.transferred == pytest.approx(moved_before, rel=1e-12)
+        remaining = long.size - moved_before
+        transition = net.next_transition()
+        assert transition == pytest.approx(
+            predicted + remaining / (5 * MBPS), rel=1e-9
+        )
+        net.advance_to(transition)
+        assert long.done
+
+    def test_capacity_change_is_a_counted_transition(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        net.start_transfer("left-0", "right-0", 1e6)
+        before = net.transitions
+        net.set_link_capacity("bottleneck", 8 * MBPS)
+        assert net.transitions == before + 1
+        # Setting the same value again is a no-op, not a transition.
+        net.set_link_capacity("bottleneck", 8 * MBPS)
+        assert net.transitions == before + 1
+
+    def test_capacity_raise_speeds_in_flight_completion(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        transfer = net.start_transfer("left-0", "right-0", 10e6)
+        slow_eta = net.next_transition()
+        net.advance_to(slow_eta / 2)
+        net.set_link_capacity("bottleneck", 100 * MBPS)
+        fast_eta = net.next_transition()
+        assert fast_eta < slow_eta
+        net.advance_to(fast_eta)
+        assert transfer.done
+        assert transfer.finish_time == pytest.approx(fast_eta)
+
+    def test_unknown_link_and_bad_capacity_rejected(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        with pytest.raises(KeyError, match="unknown link"):
+            net.set_link_capacity("nope", 1 * MBPS)
+        with pytest.raises(ValueError, match="positive"):
+            net.set_link_capacity("bottleneck", 0.0)
+        assert net.link_capacity("bottleneck") == 10 * MBPS
+
+
+class TestRetainCompleted:
+    def test_completed_list_can_be_disabled(self, dumbbell_topology):
+        net = FluidNetwork(dumbbell_topology)
+        net.retain_completed = False
+        seen = []
+        net.start_transfer("left-0", "left-1", 1e6, on_complete=seen.append)
+        net.run_until_complete()
+        assert len(seen) == 1
+        assert net.completed == []
+        assert seen[0].done

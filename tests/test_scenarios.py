@@ -54,6 +54,13 @@ SMOKE_ARGS = {
                   "--set", "num_bottlenecks=1"],
     "HETERO-UPLINK": ["--iterations", "1", "--fragments", "80",
                       "--per-site", "2"],
+    "RIVAL-BROADCAST": ["--iterations", "2", "--fragments", "80",
+                        "--per-site", "2"],
+    "CROSS-TRAFFIC": ["--iterations", "2", "--fragments", "80",
+                      "--per-site", "2"],
+    "CHURN": ["--iterations", "2", "--fragments", "80", "--per-site", "2"],
+    "MIXED-TENANCY": ["--iterations", "2", "--fragments", "80",
+                      "--per-site", "2"],
 }
 
 

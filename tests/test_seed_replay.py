@@ -143,3 +143,107 @@ def test_interest_bookkeeping_modes_agree(monkeypatch):
     monkeypatch.setattr(swarm_module, "MATMUL_INTEREST_LIMIT", 0)
     incremental, _ = broadcast_fingerprint(topology, 60, seed=11)
     assert incremental == baseline
+
+
+# ---------------------------------------------------------------------- #
+# multi-tenant workload replay (PR 4)
+# ---------------------------------------------------------------------- #
+def workload_broadcast_fingerprint(topology, num_fragments, seed, **config_kwargs):
+    """The GOLDENS fingerprint computed through the one-actor workload path."""
+    from repro.bittorrent.torrent import TorrentMeta
+    from repro.workloads import BroadcastActor, WorkloadEngine
+
+    meta = TorrentMeta(
+        name="golden", fragment_size=16384, num_fragments=num_fragments
+    )
+    config = SwarmConfig(torrent=meta, **config_kwargs)
+    engine = WorkloadEngine(topology)
+    primary = engine.add(
+        BroadcastActor("primary", config, rng=np.random.default_rng(seed))
+    )
+    engine.run()
+    result = primary.result
+    counts = result.fragments.counts.astype(np.int64)
+    digest = hashlib.sha256()
+    digest.update(("|".join(result.fragments.labels)).encode())
+    digest.update(counts.tobytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_one_actor_workload_replays_the_single_broadcast_goldens(stepping):
+    """The standalone loop is now the degenerate one-actor workload: driving
+    a broadcast through the shared workload engine (its simulator agenda and
+    shared fluid network) must reproduce the pinned scalar-era fingerprints
+    bit for bit."""
+    topology = build_multi_site(
+        {site: {default_cluster_of(site): 4} for site in ("bordeaux", "grenoble")}
+    )
+    fingerprint = workload_broadcast_fingerprint(
+        topology, 80, seed=73, stepping=stepping
+    )
+    assert fingerprint == GOLDENS[stepping]["multi-site"]
+
+    topology = build_bordeaux_site(bordeplage=5, bordereau=4, borderline=2)
+    fingerprint = workload_broadcast_fingerprint(
+        topology, 120, seed=2012, stepping=stepping
+    )
+    assert fingerprint == GOLDENS[stepping]["bordeaux"]
+
+    fingerprint = workload_broadcast_fingerprint(
+        topology, 2000, seed=99, rechoke_interval=0.3, optimistic_every=2,
+        stepping=stepping,
+    )
+    assert fingerprint == GOLDENS[stepping]["rechoke-heavy"]
+
+
+#: Pinned campaign fingerprints for one scenario per interference family
+#: (G-T at per_site=3, 150 fragments, 2 iterations, seed 2012).  Both
+#: stepping modes must reproduce the same hashes: the interference wakeups
+#: keep the event mode exact in a changing network.
+INTERFERENCE_GOLDENS = {
+    "rival": "39e14ea1a531976b25add05b51a6a1c74399a005174e0bbef025966bb152810f",
+    "cross": "3509570ef7bc58ce111bd3d86360b397d2249941814fcf778c4d0ac316488b0c",
+    "churn": "7fca60aa6380075fe2058a15342f015bcea1320b96d607b17dddb2147fd59146",
+}
+
+
+def interference_workload(family):
+    from repro.workloads import (
+        churn_workload,
+        cross_traffic_workload,
+        rival_broadcast_workload,
+    )
+
+    return {
+        "rival": lambda: rival_broadcast_workload(rivals=1, stagger=0.25),
+        "cross": lambda: cross_traffic_workload(intensity=0.75, sources=2),
+        "churn": lambda: churn_workload(churn_rate=2.0),
+    }[family]()
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+@pytest.mark.parametrize("family", sorted(INTERFERENCE_GOLDENS))
+def test_interference_campaigns_replay_their_goldens(family, stepping):
+    """Multi-tenant campaigns replay bit-for-bit from their seed, in both
+    stepping modes: the per-actor RNG streams are derived statelessly from
+    (seed, "workload", iteration, label) and the shared-clock interleaving
+    is deterministic."""
+    from repro.experiments.datasets import dataset
+    from repro.tomography.measurement import MeasurementCampaign
+    from repro.tomography.pipeline import default_swarm_config
+
+    ds = dataset("G-T", per_site=3)
+    config = default_swarm_config(150, stepping=stepping)
+    record = MeasurementCampaign(
+        ds.topology,
+        config,
+        hosts=ds.hosts,
+        seed=2012,
+        workload=interference_workload(family),
+    ).run(2)
+    digest = hashlib.sha256()
+    for result in record.results:
+        digest.update(("|".join(result.fragments.labels)).encode())
+        digest.update(result.fragments.counts.astype(np.int64).tobytes())
+    assert digest.hexdigest() == INTERFERENCE_GOLDENS[family]

@@ -167,3 +167,85 @@ class TestSimulator:
         sim.schedule_at(0.0, nested)
         sim.run()
         assert len(errors) == 1
+
+
+class TestLazyCompaction:
+    """Cancelled-entry accumulation: the heap must stay O(live events)."""
+
+    def test_heap_compacts_when_cancelled_entries_dominate(self):
+        queue = EventQueue()
+        live = [queue.push(1e9, lambda: None) for _ in range(10)]
+        # Churn/rechoke pattern: schedule-then-cancel, thousands of times.
+        for i in range(10_000):
+            queue.push(float(i), lambda: None).cancel()
+            assert len(queue) == 10
+        # Without compaction the heap would hold ~10k dead entries.
+        assert len(queue._heap) <= 2 * len(live) + 1
+        assert queue.peek_time() == 1e9
+
+    def test_compaction_preserves_dispatch_order(self):
+        queue = EventQueue()
+        survivors = []
+        for i in range(200):
+            event = queue.push(float(i % 7), lambda i=i: None)
+            if i % 3 == 0:
+                survivors.append((i % 7, i))
+            else:
+                event.cancel()
+        popped = [(event.time, event.order) for event in iter(queue.pop, None)]
+        assert popped == sorted(popped)
+        assert len(popped) == len(survivors)
+
+    def test_small_heaps_are_never_compacted(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # Below the compaction floor the dead entries just wait for pop.
+        assert len(queue._heap) == 10
+        assert len(queue) == 1
+
+    def test_pending_counter_tracks_cancel_after_pop(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        event.cancel()  # cancelling an already-fired event is a no-op
+        assert sim.pending == 0
+
+    def test_simulator_pending_stays_exact_under_churn(self):
+        sim = Simulator()
+        keep = sim.schedule_at(50.0, lambda: None)
+        for i in range(5_000):
+            sim.schedule_at(100.0 + i, lambda: None).cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.now == 50.0
+
+
+class TestSharedAgendaSurface:
+    """peek/step/owner: the workload engine's shared-agenda interface."""
+
+    def test_step_dispatches_exactly_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        assert sim.peek_time() == 1.0
+        event = sim.step()
+        assert fired == [1]
+        assert event.time == 1.0
+        assert sim.now == 1.0
+        assert sim.peek_time() == 2.0
+
+    def test_step_on_empty_agenda_returns_none(self):
+        sim = Simulator()
+        assert sim.step() is None
+        assert sim.peek_time() is None
+
+    def test_events_carry_their_owner(self):
+        sim = Simulator()
+        owner = object()
+        sim.schedule_at(1.0, lambda: None, owner=owner)
+        event = sim.step()
+        assert event.owner is owner
