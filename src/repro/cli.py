@@ -35,6 +35,7 @@ from repro.scenarios import (
     get_scenario,
     jsonable_summary,
 )
+from repro.faults import FAULT_NAMES
 from repro.scenarios.spec import CAMPAIGN_PARAMS
 from repro.workloads import WORKLOAD_NAMES
 
@@ -45,6 +46,7 @@ _SWEEP_COLUMNS = (
     "measured_nmi",
     "modularity",
     "measurement_time_s",
+    "time_to_detect_s",
     "node_scaling_ratio",
     "size_scaling_ratio",
     "zero_runs",
@@ -163,6 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=_make_executor(args),
         stepping=args.stepping,
         workload=args.workload,
+        faults=args.faults,
+        quorum=args.quorum,
         **_campaign_kwargs(args),
         **overrides,
     )
@@ -211,7 +215,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             overrides[param] = value
         summary = spec.run(executor=executor, stepping=args.stepping,
-                           workload=args.workload, **kwargs, **overrides)
+                           workload=args.workload, faults=args.faults,
+                           quorum=args.quorum, **kwargs, **overrides)
         row = jsonable_summary(summary)
         row[param] = value if not isinstance(value, tuple) else list(value)
         rows.append(row)
@@ -268,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "tenant interference workload (concurrent "
                             "broadcasts, cross traffic, churn, capacity "
                             "drift on one shared clock; docs/workloads.md)")
+        p.add_argument("--faults", choices=FAULT_NAMES, default=None,
+                       help="inject a deterministic fault plan into every "
+                            "measurement iteration (link failures, route "
+                            "flaps, tracker outages, tenant cycling; "
+                            "docs/faults.md)")
+        p.add_argument("--quorum", type=int, default=None,
+                       help="proceed with >=k surviving iterations instead "
+                            "of aborting on the first failed one (the "
+                            "summary is then flagged degraded)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --executor process")
         p.add_argument("--json", metavar="PATH", default=None,

@@ -60,6 +60,8 @@ def run_dataset_clustering(
     executor: Optional[CampaignExecutor] = None,
     stepping: Optional[str] = None,
     workload=None,
+    faults=None,
+    quorum: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the full tomography pipeline on a dataset and summarise the outcome.
 
@@ -67,7 +69,11 @@ def run_dataset_clustering(
     embeds every measured broadcast in a multi-tenant workload — concurrent
     broadcasts, cross traffic, churn, capacity drift on a shared clock —
     instead of the paper's idle network (``repro run <scenario> --workload
-    cross-heavy``; see docs/workloads.md).
+    cross-heavy``; see docs/workloads.md).  ``faults`` (a
+    :class:`~repro.faults.FaultPlan` or preset name) additionally injects
+    deterministic failures into every iteration, and ``quorum`` lets the
+    campaign proceed with ≥k surviving iterations instead of aborting on
+    the first failed one (see docs/faults.md).
     """
     if workload is not None:
         from repro.workloads import workload_from_name
@@ -83,12 +89,17 @@ def run_dataset_clustering(
         rotate_root=rotate_root,
         executor=_resolve_executor(executor),
         workload=workload,
+        faults=faults,
     )
-    result = pipeline.run(iterations, track_convergence=track_convergence)
+    result = pipeline.run(
+        iterations, track_convergence=track_convergence, quorum=quorum
+    )
     summary = {
         "dataset": ds.name,
         "hosts": ds.num_hosts,
         "iterations": iterations,
+        "achieved_iterations": result.achieved_iterations,
+        "degraded": result.degraded,
         "found_clusters": result.num_clusters,
         "expected_clusters": ds.expectation.expected_clusters,
         "paper_nmi": ds.expectation.paper_nmi,
@@ -102,15 +113,18 @@ def run_dataset_clustering(
         "result": result,
         "ground_truth": ds.ground_truth,
     }
-    if workload is not None:
+    if workload is not None or pipeline.campaign.faults is not None:
         from repro.tomography.interference import summarize_workload_stats
 
-        summary.update(workload.metadata())
+        if workload is not None:
+            summary.update(workload.metadata())
+        if pipeline.campaign.faults is not None:
+            summary.update(pipeline.campaign.faults.metadata())
         summary.update(summarize_workload_stats(result.record.workload_stats))
-        if workload.actors:
-            # The workload campaign path is serial-only: the measurement
-            # never consulted the executor, so the record must not claim it.
-            summary["executor"] = "serial"
+    if quorum is not None and executor is not None:
+        # Quorum campaigns take the resilient in-process loop (per-iteration
+        # try/except), never the fan-out path — record what actually ran.
+        summary["executor"] = "serial"
     return summary
 
 

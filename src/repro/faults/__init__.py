@@ -1,0 +1,62 @@
+"""Deterministic fault injection for measurement campaigns.
+
+Declarative :class:`FaultPlan` presets compose fault actors — link
+failures, route flaps, tracker outages, tenant arrival/departure — onto
+the shared workload agenda, seeded from stateless
+``(seed, "fault", iteration, label)`` streams so campaigns stay
+bit-for-bit reproducible under injected failure.  See ``docs/faults.md``.
+"""
+
+from repro.faults.actors import (
+    FAILURE_RESIDUAL,
+    MAX_ANNOUNCE_RETRIES,
+    FaultActor,
+    LinkFailureActor,
+    RouteFlapActor,
+    TenantCycleActor,
+    TrackerOutageActor,
+    shared_links,
+)
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FAULT_NAMES,
+    FAULT_PRESETS,
+    NO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    blackout_plan,
+    build_fault_actors,
+    chaos_plan,
+    fault,
+    fault_plan_from_name,
+    link_failure_plan,
+    route_flap_plan,
+    tenant_cycle_plan,
+    tracker_outage_plan,
+)
+
+__all__ = [
+    "FAILURE_RESIDUAL",
+    "MAX_ANNOUNCE_RETRIES",
+    "FAULT_KINDS",
+    "FAULT_NAMES",
+    "FAULT_PRESETS",
+    "NO_FAULTS",
+    "FaultActor",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkFailureActor",
+    "RouteFlapActor",
+    "TenantCycleActor",
+    "TrackerOutageActor",
+    "blackout_plan",
+    "build_fault_actors",
+    "chaos_plan",
+    "fault",
+    "fault_plan_from_name",
+    "link_failure_plan",
+    "route_flap_plan",
+    "shared_links",
+    "tenant_cycle_plan",
+    "tracker_outage_plan",
+]

@@ -24,10 +24,27 @@ class RoutingTable:
     an immutable ``int32`` array of link indices (:meth:`route_indices`).
     The fluid engine keeps only these interned arrays, so route lookups and
     flow-set updates never touch link-name strings on the hot path.
+
+    A table may be built with ``avoid`` — a set of link names excluded from
+    path computation — to model routing around failed or flapping links.
+    Pairs left unreachable by the exclusion fall back to the ``fallback``
+    table's route (real control planes keep forwarding over a flapping link
+    when it is the only path), or raise if no fallback is given.
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        avoid: Optional[frozenset] = None,
+        fallback: Optional["RoutingTable"] = None,
+    ) -> None:
         self.topology = topology
+        self.avoid = frozenset(avoid) if avoid else frozenset()
+        self.fallback = fallback
+        known = {link.name for link in topology.links}
+        unknown = [n for n in self.avoid if n not in known]
+        if unknown:
+            raise TopologyError(f"cannot avoid unknown links {sorted(unknown)}")
         self._paths: Dict[str, Dict[str, List[str]]] = {}
         links = topology.links
         #: ``link name -> dense index`` in topology declaration order.
@@ -87,6 +104,8 @@ class RoutingTable:
                 # through a host if that host is the source itself.
                 if self.topology.is_host(element) and element != source:
                     continue
+                if link.name in self.avoid:
+                    continue
                 cost = d + max(link.latency, 1e-9)
                 if nbr not in dist or cost < dist[nbr] - 1e-15:
                     dist[nbr] = cost
@@ -116,6 +135,8 @@ class RoutingTable:
         try:
             return list(self._paths[src][dst])
         except KeyError as exc:
+            if self.fallback is not None:
+                return self.fallback.route(src, dst)
             raise TopologyError(f"no route from {src!r} to {dst!r}") from exc
 
     def route_links(self, src: str, dst: str) -> List[Link]:

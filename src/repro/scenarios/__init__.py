@@ -14,12 +14,17 @@ scenario.
 
 from repro.scenarios.executors import (
     BroadcastTask,
+    CampaignExecutionError,
     CampaignExecutor,
     EXECUTOR_NAMES,
     ProcessPoolExecutor,
     SerialExecutor,
+    TaskOutput,
     default_executor,
+    execute_task,
+    execute_task_output,
     executor_from_name,
+    workers_from_env,
 )
 from repro.scenarios.registry import (
     all_scenarios,
@@ -40,14 +45,19 @@ from repro.scenarios.spec import ScenarioSpec, jsonable_summary, to_jsonable
 
 __all__ = [
     "BroadcastTask",
+    "CampaignExecutionError",
     "CampaignExecutor",
     "EXECUTOR_NAMES",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "ScenarioSpec",
+    "TaskOutput",
     "all_scenarios",
     "default_executor",
+    "execute_task",
+    "execute_task_output",
     "executor_from_name",
+    "workers_from_env",
     "families",
     "get_scenario",
     "jsonable_summary",

@@ -459,6 +459,8 @@ def _scenario_rival(
     noise_threshold: float = 0.85,
     stepping: Optional[str] = None,
     workload=None,
+    faults=None,
+    quorum: Optional[int] = None,
 ):
     from repro.tomography.interference import run_interference_study
     from repro.workloads import rival_broadcast_workload
@@ -469,6 +471,7 @@ def _scenario_rival(
         _interference_dataset(per_site), wl,
         iterations=iterations, num_fragments=num_fragments, seed=seed,
         noise_threshold=noise_threshold, stepping=stepping,
+        executor=executor, faults=faults, quorum=quorum,
     )
 
 
@@ -490,6 +493,8 @@ def _scenario_cross_traffic(
     noise_threshold: float = 0.8,
     stepping: Optional[str] = None,
     workload=None,
+    faults=None,
+    quorum: Optional[int] = None,
 ):
     from repro.tomography.interference import run_interference_study
     from repro.workloads import cross_traffic_workload
@@ -500,6 +505,7 @@ def _scenario_cross_traffic(
         _interference_dataset(per_site), wl,
         iterations=iterations, num_fragments=num_fragments, seed=seed,
         noise_threshold=noise_threshold, stepping=stepping,
+        executor=executor, faults=faults, quorum=quorum,
     )
 
 
@@ -520,6 +526,8 @@ def _scenario_churn(
     noise_threshold: float = 0.8,
     stepping: Optional[str] = None,
     workload=None,
+    faults=None,
+    quorum: Optional[int] = None,
 ):
     from repro.tomography.interference import run_interference_study
     from repro.workloads import churn_workload
@@ -530,6 +538,7 @@ def _scenario_churn(
         _interference_dataset(per_site), wl,
         iterations=iterations, num_fragments=num_fragments, seed=seed,
         noise_threshold=noise_threshold, stepping=stepping,
+        executor=executor, faults=faults, quorum=quorum,
     )
 
 
@@ -549,6 +558,8 @@ def _scenario_mixed_tenancy(
     noise_threshold: float = 0.75,
     stepping: Optional[str] = None,
     workload=None,
+    faults=None,
+    quorum: Optional[int] = None,
 ):
     from repro.tomography.interference import run_interference_study
     from repro.workloads import mixed_workload
@@ -559,4 +570,151 @@ def _scenario_mixed_tenancy(
         _interference_dataset(per_site), wl,
         iterations=iterations, num_fragments=num_fragments, seed=seed,
         noise_threshold=noise_threshold, stepping=stepping,
+        executor=executor, faults=faults, quorum=quorum,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# fault-injection family: tomography under injected failure
+# (repro.faults + repro.tomography.faults; docs/faults.md)
+# ---------------------------------------------------------------------- #
+def _format_faults(summary: Dict[str, object]) -> str:
+    lines = [
+        f"scenario {summary['scenario']} (family {summary['family']}, "
+        f"faults {summary['faults']})",
+        f"dataset {summary['dataset']}: {summary['hosts']} hosts, "
+        f"{summary['achieved_iterations']}/{summary['iterations']} iterations"
+        f"{' (DEGRADED)' if summary.get('degraded') else ''}",
+        f"clusters found: {summary['found_clusters']} "
+        f"(expected: {summary['expected_clusters']})",
+        f"overlapping NMI: {summary['measured_nmi']:.3f} "
+        f"(noise threshold {summary['noise_threshold']:.2f} -> "
+        f"{'recovered' if summary['recovered'] else 'DEGRADED'})",
+    ]
+    if summary.get("detected"):
+        lines.append(
+            f"failure detected at iteration {summary['detected_iteration']} "
+            f"({summary['iterations_to_detect']} post-onset measurements, "
+            f"time to detect {summary['time_to_detect_s']:.3f} s)"
+        )
+    elif summary.get("fault_injectors"):
+        lines.append(
+            "failure not detected "
+            f"(no duration spike over {summary['detect_factor']:.2f}x baseline)"
+        )
+    if summary.get("link_failures"):
+        lines.append(
+            f"link failures: {summary['link_failures']} "
+            f"({summary['link_repairs']} repaired, "
+            f"{summary['link_downtime_s']:.3f} s downtime)"
+        )
+    if summary.get("route_flaps"):
+        lines.append(f"route flaps: {summary['route_flaps']}")
+    if summary.get("tracker_outages"):
+        lines.append(
+            f"tracker outages: {summary['tracker_outages']} "
+            f"({summary['announce_retries']} announce retries, "
+            f"{summary['announce_failures']} gave up)"
+        )
+    if summary.get("tenant_arrivals"):
+        lines.append(
+            f"tenant cycling: {summary['tenant_arrivals']} arrivals, "
+            f"{summary['tenant_departures']} departures"
+        )
+    return "\n".join(lines)
+
+
+def _reject_faults_override(name: str, faults, params: str) -> None:
+    """Fault scenarios *are* their fault plan — same contract as
+    :func:`_reject_workload_override` for ``--faults``."""
+    if faults is not None:
+        raise ValueError(
+            f"scenario {name} builds its own fault plan from its parameters "
+            f"({params}); drop --faults, or inject a preset plan under a "
+            "campaign scenario instead (e.g. `repro run G-T --faults "
+            "blackout`)"
+        )
+
+
+@runner_scenario("FAULT-INJECTION", family="fault-injection",
+                 iterations=4, num_fragments=240,
+                 formatter=_format_faults,
+                 tags=("beyond-paper", "faults", "sweepable"),
+                 description="tomography under injected failures; sweep "
+                             "`intensity` to map NMI vs failure intensity")
+def _scenario_fault_injection(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    preset: str = "link-failure",
+    intensity: float = 1.0,
+    noise_threshold: float = 0.75,
+    quorum: Optional[int] = None,
+    stepping: Optional[str] = None,
+    workload=None,
+    faults=None,
+):
+    from repro.faults import (
+        chaos_plan, link_failure_plan, route_flap_plan,
+        tenant_cycle_plan, tracker_outage_plan,
+    )
+    from repro.tomography.faults import run_fault_study
+
+    _reject_faults_override("FAULT-INJECTION", faults, "preset/intensity")
+    builders = {
+        "link-failure": link_failure_plan,
+        "route-flap": route_flap_plan,
+        "tracker-outage": tracker_outage_plan,
+        "tenant-cycle": tenant_cycle_plan,
+        "chaos": chaos_plan,
+    }
+    try:
+        plan = builders[preset](intensity=intensity)
+    except KeyError:
+        raise ValueError(
+            f"unknown fault preset {preset!r}; "
+            f"available: {', '.join(sorted(builders))}"
+        ) from None
+    return run_fault_study(
+        _interference_dataset(per_site), plan, workload=workload,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+        executor=executor, quorum=quorum,
+    )
+
+
+@runner_scenario("LINK-BLACKOUT", family="fault-injection",
+                 iterations=6, num_fragments=240,
+                 formatter=_format_faults,
+                 tags=("beyond-paper", "faults", "sweepable"),
+                 description="persistent bottleneck failure mid-campaign; "
+                             "headline metric: time to detect the dead link")
+def _scenario_link_blackout(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    from_iteration: int = 2,
+    residual: float = 0.02,
+    detect_factor: Optional[float] = None,
+    noise_threshold: float = 0.6,
+    quorum: Optional[int] = None,
+    stepping: Optional[str] = None,
+    workload=None,
+    faults=None,
+):
+    from repro.faults import blackout_plan
+    from repro.tomography.faults import DETECT_FACTOR, run_fault_study
+
+    _reject_faults_override("LINK-BLACKOUT", faults, "from_iteration/residual")
+    plan = blackout_plan(from_iteration=from_iteration, residual=residual)
+    return run_fault_study(
+        _interference_dataset(per_site), plan, workload=workload,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+        detect_factor=DETECT_FACTOR if detect_factor is None else detect_factor,
+        executor=executor, quorum=quorum,
     )

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent import futures
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
 from repro.network.topology import Topology
@@ -58,6 +59,14 @@ class BroadcastTask:
     generator as ``RandomStreams(base_seed).stream(*labels)`` — the same
     stateless derivation the serial path uses, which is what makes parallel
     execution bit-for-bit identical.
+
+    ``workload`` and ``faults`` carry the campaign's multi-tenant
+    interference spec and fault plan (both frozen and picklable) into the
+    worker; when either is set the broadcasts run through
+    :func:`~repro.workloads.spec.run_workload_iteration` on the shared
+    workload agenda, with the iteration index recovered from each spec's
+    stream label — so ``--executor process`` campaigns run the exact
+    workload the serial path runs instead of silently dropping it.
     """
 
     topology: Topology
@@ -65,47 +74,120 @@ class BroadcastTask:
     hosts: Optional[Tuple[str, ...]]
     base_seed: int
     specs: Tuple[IterationSpec, ...]
+    workload: Optional[object] = None
+    faults: Optional[object] = None
 
 
-def execute_task(task: BroadcastTask) -> List[BroadcastResult]:
+@dataclass(frozen=True)
+class TaskOutput:
+    """What a worker ships back for one task: the broadcast results in spec
+    order plus, for multi-tenant tasks, the per-iteration actor stats
+    (``None`` entries for plain single-tenant broadcasts)."""
+
+    results: Tuple[BroadcastResult, ...]
+    stats: Tuple[Optional[List[dict]], ...]
+
+
+def execute_task_output(task: BroadcastTask) -> TaskOutput:
     """Run every broadcast of a task in order (the worker entry point).
 
-    The :class:`BitTorrentBroadcast` (and its routing table) is built once
-    per task, mirroring the serial campaign's reuse across iterations.
+    Single-tenant tasks build one :class:`BitTorrentBroadcast` (and routing
+    table) per task, mirroring the serial campaign's reuse across
+    iterations; multi-tenant tasks route every iteration through the shared
+    workload engine exactly as the serial path does.
     """
-    broadcast = BitTorrentBroadcast(
-        task.topology,
-        task.config,
-        hosts=list(task.hosts) if task.hosts is not None else None,
-    )
+    hosts = list(task.hosts) if task.hosts is not None else None
+    if task.workload is not None or task.faults is not None:
+        from repro.network.routing import RoutingTable
+        from repro.workloads.spec import run_workload_iteration
+
+        routing = RoutingTable(task.topology)
+        results: List[BroadcastResult] = []
+        stats: List[Optional[List[dict]]] = []
+        for labels, root in task.specs:
+            result, actor_stats = run_workload_iteration(
+                task.topology,
+                task.config,
+                hosts,
+                root,
+                task.base_seed,
+                int(labels[-1]),
+                task.workload,
+                routing=routing,
+                faults=task.faults,
+            )
+            results.append(result)
+            stats.append(actor_stats)
+        return TaskOutput(tuple(results), tuple(stats))
+
+    broadcast = BitTorrentBroadcast(task.topology, task.config, hosts=hosts)
     streams = RandomStreams(task.base_seed)
-    return [
+    results = [
         broadcast.run(root=root, rng=streams.stream(*labels))
         for labels, root in task.specs
     ]
+    return TaskOutput(tuple(results), tuple(None for _ in results))
+
+
+def execute_task(task: BroadcastTask) -> List[BroadcastResult]:
+    """Back-compat worker entry: results only (see :func:`execute_task_output`)."""
+    return list(execute_task_output(task).results)
+
+
+class CampaignExecutionError(RuntimeError):
+    """A task kept failing after every retry (crash, hang, broken pool)."""
 
 
 class CampaignExecutor:
     """Backend interface for running independent seeded broadcasts.
 
-    Subclasses implement :meth:`run_tasks`; the convenience entry point
-    :meth:`run_broadcasts` chunks a homogeneous campaign (one topology, many
-    iteration specs) into tasks according to the backend's parallelism and
-    returns the flattened results in spec order.
+    Subclasses implement :meth:`run_task_outputs`; the convenience entry
+    points chunk a homogeneous campaign (one topology, many iteration
+    specs) into tasks according to the backend's parallelism and return the
+    flattened results in spec order — :meth:`run_broadcasts` results only,
+    :meth:`run_campaign` results plus per-iteration workload stats.
     """
 
     #: Backend name recorded in CLI/benchmark output.
     name = "abstract"
 
-    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
-        """Run tasks (possibly concurrently) and return results in task order."""
+    def run_task_outputs(
+        self, tasks: Sequence[BroadcastTask]
+    ) -> List[TaskOutput]:
+        """Run tasks (possibly concurrently); outputs come back in task order."""
         raise NotImplementedError
+
+    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
+        """Run tasks and flatten the broadcast results, in task order."""
+        return [
+            result
+            for output in self.run_task_outputs(tasks)
+            for result in output.results
+        ]
 
     def chunk_specs(
         self, specs: Sequence[IterationSpec]
     ) -> List[Tuple[IterationSpec, ...]]:
         """Split iteration specs into contiguous per-task chunks."""
         return [tuple(specs)] if specs else []
+
+    def _make_tasks(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]],
+        base_seed: int,
+        specs: Sequence[IterationSpec],
+        workload=None,
+        faults=None,
+    ) -> List[BroadcastTask]:
+        host_tuple = tuple(hosts) if hosts is not None else None
+        return [
+            BroadcastTask(
+                topology, config, host_tuple, base_seed, chunk, workload, faults
+            )
+            for chunk in self.chunk_specs(list(specs))
+        ]
 
     def run_broadcasts(
         self,
@@ -116,12 +198,34 @@ class CampaignExecutor:
         specs: Sequence[IterationSpec],
     ) -> List[BroadcastResult]:
         """Run one campaign's broadcasts, preserving spec order in the output."""
-        host_tuple = tuple(hosts) if hosts is not None else None
-        tasks = [
-            BroadcastTask(topology, config, host_tuple, base_seed, chunk)
-            for chunk in self.chunk_specs(list(specs))
-        ]
-        return self.run_tasks(tasks)
+        return self.run_tasks(
+            self._make_tasks(topology, config, hosts, base_seed, specs)
+        )
+
+    def run_campaign(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]],
+        base_seed: int,
+        specs: Sequence[IterationSpec],
+        workload=None,
+        faults=None,
+    ) -> Tuple[List[BroadcastResult], List[Optional[List[dict]]]]:
+        """Run one campaign with its workload/fault plans.
+
+        Returns ``(results, stats)`` flattened in spec order; ``stats[i]``
+        is the iteration's per-actor stats list (``None`` for single-tenant
+        iterations).
+        """
+        outputs = self.run_task_outputs(
+            self._make_tasks(
+                topology, config, hosts, base_seed, specs, workload, faults
+            )
+        )
+        results = [r for output in outputs for r in output.results]
+        stats = [s for output in outputs for s in output.stats]
+        return results, stats
 
 
 class SerialExecutor(CampaignExecutor):
@@ -129,15 +233,14 @@ class SerialExecutor(CampaignExecutor):
 
     name = "serial"
 
-    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
-        results: List[BroadcastResult] = []
-        for task in tasks:
-            results.extend(execute_task(task))
-        return results
+    def run_task_outputs(
+        self, tasks: Sequence[BroadcastTask]
+    ) -> List[TaskOutput]:
+        return [execute_task_output(task) for task in tasks]
 
 
 class ProcessPoolExecutor(CampaignExecutor):
-    """Fan tasks out across worker processes.
+    """Fan tasks out across worker processes, surviving worker failure.
 
     Parameters
     ----------
@@ -147,24 +250,58 @@ class ProcessPoolExecutor(CampaignExecutor):
         Broadcasts per task; defaults to an even split across workers
         (contiguous chunks, so results reassemble in iteration order by
         construction).
+    task_timeout:
+        Wall-clock ceiling (seconds) per task; a round of tasks gets the
+        ceiling scaled by how many tasks share one worker.  Tasks still
+        unfinished at the deadline are treated as hung: their workers are
+        terminated and the tasks are resubmitted to a fresh pool.
+    retries:
+        How many extra rounds a failed task (crashed worker, hang, broken
+        pool) is given before :class:`CampaignExecutionError` is raised.
+    retry_backoff:
+        Base of the exponential sleep between retry rounds (seconds).
+    task_fn:
+        Worker entry point override (tests inject crashing/hanging tasks);
+        must be a picklable module-level callable taking a task.
 
     Determinism: each broadcast's random stream is derived from the base
-    seed and its own label inside the worker, and chunks are mapped back in
-    submission order, so the resulting record is byte-identical to
-    :class:`SerialExecutor`'s regardless of worker scheduling.
+    seed and its own label inside the worker, and outputs are reassembled
+    in submission order, so the resulting record is byte-identical to
+    :class:`SerialExecutor`'s regardless of worker scheduling — including
+    after crash/hang recovery, because a retried task replays the same
+    streams from scratch.
     """
 
     name = "process"
 
     def __init__(
-        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.25,
+        task_fn: Optional[Callable[[BroadcastTask], TaskOutput]] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.task_fn = task_fn or execute_task_output
+        #: Task failures survived across this executor's lifetime
+        #: (crashes + hangs + broken pools), for post-run introspection.
+        self.task_failures = 0
 
     def chunk_specs(
         self, specs: Sequence[IterationSpec]
@@ -174,16 +311,81 @@ class ProcessPoolExecutor(CampaignExecutor):
         size = self.chunk_size or math.ceil(len(specs) / self.workers)
         return [tuple(specs[i : i + size]) for i in range(0, len(specs), size)]
 
-    def run_tasks(self, tasks: Sequence[BroadcastTask]) -> List[BroadcastResult]:
+    def run_task_outputs(
+        self, tasks: Sequence[BroadcastTask]
+    ) -> List[TaskOutput]:
         if not tasks:
             return []
-        if len(tasks) == 1:
-            # A single chunk gains nothing from a pool; skip the fork.
-            return execute_task(tasks[0])
-        max_workers = min(self.workers, len(tasks))
-        with futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            nested = list(pool.map(execute_task, tasks))
-        return [result for chunk in nested for result in chunk]
+        if (
+            len(tasks) == 1
+            and self.task_timeout is None
+            and self.task_fn is execute_task_output
+        ):
+            # A single well-behaved chunk gains nothing from a pool.
+            return [execute_task_output(tasks[0])]
+
+        outputs: List[Optional[TaskOutput]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        errors: List[str] = []
+        for attempt in range(self.retries + 1):
+            if attempt and self.retry_backoff:
+                time.sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
+            pending, errors = self._run_round(tasks, pending, outputs)
+            self.task_failures += len(pending)
+            if not pending:
+                return [output for output in outputs if output is not None]
+        raise CampaignExecutionError(
+            f"{len(pending)} task(s) still failing after {self.retries} "
+            f"retries: {'; '.join(errors[:3])}"
+        )
+
+    def _run_round(
+        self,
+        tasks: Sequence[BroadcastTask],
+        pending: List[int],
+        outputs: List[Optional[TaskOutput]],
+    ) -> Tuple[List[int], List[str]]:
+        """One submission round on a fresh pool; returns surviving failures.
+
+        Each round gets its own pool so a round poisoned by a crashed or
+        hung worker never contaminates the next: hung workers are
+        terminated, and :class:`futures.process.BrokenProcessPool` (a
+        worker died mid-task) only fails the round's unfinished tasks.
+        """
+        failed: List[int] = []
+        errors: List[str] = []
+        max_workers = min(self.workers, len(pending))
+        pool = futures.ProcessPoolExecutor(max_workers=max_workers)
+        future_index = {
+            pool.submit(self.task_fn, tasks[i]): i for i in pending
+        }
+        deadline = None
+        if self.task_timeout is not None:
+            # Per-task ceiling scaled by how many tasks share one worker.
+            deadline = self.task_timeout * math.ceil(len(pending) / max_workers)
+        done, not_done = futures.wait(set(future_index), timeout=deadline)
+        for future in done:
+            index = future_index[future]
+            try:
+                outputs[index] = future.result()
+            except Exception as exc:  # noqa: BLE001 — any worker death retries
+                failed.append(index)
+                errors.append(f"task {index}: {type(exc).__name__}: {exc}")
+        for future in not_done:
+            index = future_index[future]
+            failed.append(index)
+            errors.append(f"task {index}: hung past {self.task_timeout}s")
+            future.cancel()
+        if not_done:
+            # Hung workers never come back: kill them before abandoning the
+            # pool so the retry round starts from clean processes.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+        failed.sort()
+        return failed, errors
 
 
 #: Known backends, keyed by the names accepted on the CLI and in the
@@ -201,6 +403,8 @@ def executor_from_name(
     if key == "serial":
         return SerialExecutor()
     if key == "process":
+        if workers is None:
+            workers = workers_from_env()
         return ProcessPoolExecutor(workers=workers, chunk_size=chunk_size)
     raise ValueError(
         f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
@@ -219,6 +423,26 @@ def default_executor() -> Optional[CampaignExecutor]:
     name = os.environ.get(EXECUTOR_ENV, "").strip().lower()
     if not name or name == "serial":
         return None
+    return executor_from_name(name, workers=workers_from_env())
+
+
+def workers_from_env() -> Optional[int]:
+    """Validated worker count from :data:`WORKERS_ENV` (``None`` if unset).
+
+    Rejects non-integers and values below 1 with a clear error instead of
+    letting them surface as a deep ``concurrent.futures`` traceback.
+    """
     workers_raw = os.environ.get(WORKERS_ENV, "").strip()
-    workers = int(workers_raw) if workers_raw else None
-    return executor_from_name(name, workers=workers)
+    if not workers_raw:
+        return None
+    try:
+        workers = int(workers_raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer, got {workers_raw!r}"
+        ) from exc
+    if workers < 1:
+        raise ValueError(
+            f"{WORKERS_ENV} must be at least 1, got {workers}"
+        )
+    return workers

@@ -135,6 +135,8 @@ class ScenarioSpec:
         track_convergence: Optional[bool] = None,
         stepping: Optional[str] = None,
         workload: Optional[object] = None,
+        faults: Optional[object] = None,
+        quorum: Optional[int] = None,
         **overrides,
     ) -> Dict[str, object]:
         """Execute the scenario and return its summary dictionary.
@@ -143,9 +145,12 @@ class ScenarioSpec:
         scenarios) or the custom runner; campaign parameters default to the
         spec's values.  ``workload`` (a preset name or
         :class:`~repro.workloads.WorkloadSpec`) layers a multi-tenant
-        interference workload under the measurement campaign.  The summary
-        always carries ``scenario``, ``family``, ``executor`` and
-        ``stepping`` keys so downstream records know what produced them.
+        interference workload under the measurement campaign; ``faults``
+        (a preset name or :class:`~repro.faults.FaultPlan`) injects
+        deterministic failures, and ``quorum`` lets the campaign proceed
+        with ≥k surviving iterations.  The summary always carries
+        ``scenario``, ``family``, ``executor`` and ``stepping`` keys so
+        downstream records know what produced them.
         """
         iterations = self.iterations if iterations is None else iterations
         num_fragments = self.num_fragments if num_fragments is None else num_fragments
@@ -174,6 +179,11 @@ class ScenarioSpec:
                 # request against a runner with no measurement campaign
                 # (NetPIPE) raises instead of being silently dropped.
                 overrides = {**overrides, "workload": workload}
+            if faults is not None:
+                # And for fault plans — explicit-only, never silently lost.
+                overrides = {**overrides, "faults": faults}
+            if quorum is not None:
+                overrides = {**overrides, "quorum": quorum}
             summary = self.runner(
                 iterations=iterations,
                 num_fragments=num_fragments,
@@ -195,6 +205,8 @@ class ScenarioSpec:
                 executor=executor,
                 stepping=stepping,
                 workload=workload,
+                faults=faults,
+                quorum=quorum,
             )
         from repro.bittorrent.swarm import default_stepping
 

@@ -1,0 +1,153 @@
+"""Fault-robustness measurement: tomography under injected failure.
+
+The interference studies ask whether the fragment metric survives *load*;
+this module asks whether it survives *failure* — and how fast it notices
+one.  :func:`run_fault_study` runs a full measure → aggregate → cluster →
+evaluate campaign with every iteration carrying a
+:class:`~repro.faults.FaultPlan`'s injectors, and reports the recovered
+clustering, the injected-failure totals, and the study's headline metric:
+**time to detect** a failed bottleneck link.
+
+Detection is duration-based, which is exactly the signal a production
+tomography service has for free: a persistent capacity collapse on a
+shared link stretches the measured broadcasts, so the first iteration
+whose duration exceeds ``detect_factor ×`` the pre-failure baseline is
+the detection point.  ``time_to_detect_s`` charges the detector for every
+simulated second of measurement between the failure's onset iteration and
+the detection (inclusive) — the cost of noticing, in measurement time.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from repro.experiments.datasets import Dataset
+from repro.faults import FaultPlan, fault_plan_from_name
+from repro.tomography.interference import summarize_workload_stats
+from repro.tomography.pipeline import TomographyPipeline, default_swarm_config
+from repro.workloads.spec import expected_broadcast_duration
+
+#: Default duration-spike ratio that counts as "failure detected".
+DETECT_FACTOR = 1.25
+
+
+def fault_onset_iteration(plan: FaultPlan) -> int:
+    """First campaign iteration any of the plan's faults is active in."""
+    if not plan.faults:
+        return 0
+    return min(
+        int(spec.param_dict().get("from_iteration", 0)) for spec in plan.faults
+    )
+
+
+def detect_failure(
+    durations: List[float],
+    onset: int,
+    expected_duration: float,
+    detect_factor: float = DETECT_FACTOR,
+) -> Dict[str, object]:
+    """Duration-spike failure detection over a campaign's iterations.
+
+    The baseline is the median pre-onset duration (falling back to the
+    config's expected broadcast duration when the failure starts at
+    iteration 0, so detection needs no healthy samples).  Returns the
+    detection verdict plus the two headline numbers: ``iterations_to_detect``
+    (how many post-onset measurements it took) and ``time_to_detect_s``
+    (the simulated measurement time they cost).
+    """
+    healthy = durations[:onset]
+    baseline = statistics.median(healthy) if healthy else expected_duration
+    detected_iteration: Optional[int] = None
+    for i in range(onset, len(durations)):
+        if durations[i] > detect_factor * baseline:
+            detected_iteration = i
+            break
+    out: Dict[str, object] = {
+        "baseline_duration_s": baseline,
+        "detect_factor": detect_factor,
+        "fault_onset_iteration": onset,
+        "detected": detected_iteration is not None,
+        "detected_iteration": detected_iteration,
+        "iterations_to_detect": None,
+        "time_to_detect_s": None,
+    }
+    if detected_iteration is not None:
+        out["iterations_to_detect"] = detected_iteration - onset + 1
+        out["time_to_detect_s"] = float(
+            sum(durations[onset : detected_iteration + 1])
+        )
+    return out
+
+
+def run_fault_study(
+    ds: Dataset,
+    faults="blackout",
+    workload=None,
+    iterations: int = 6,
+    num_fragments: int = 300,
+    seed: int = 2012,
+    noise_threshold: float = 0.8,
+    stepping: Optional[str] = None,
+    track_convergence: bool = False,
+    detect_factor: float = DETECT_FACTOR,
+    executor=None,
+    quorum: Optional[int] = None,
+) -> Dict[str, object]:
+    """Measure a dataset under a fault plan and evaluate recovery + detection.
+
+    ``workload`` optionally layers an interference workload under the
+    faults (failures rarely arrive on an idle cluster).  ``quorum`` lets
+    the campaign proceed with ≥k surviving iterations; the summary then
+    reports ``degraded`` and the achieved count instead of raising.
+    """
+    plan = fault_plan_from_name(faults)
+    config = default_swarm_config(num_fragments, stepping=stepping)
+    pipeline = TomographyPipeline(
+        ds.topology,
+        hosts=ds.hosts,
+        ground_truth=ds.ground_truth,
+        config=config,
+        seed=seed,
+        workload=workload,
+        faults=plan,
+        executor=executor,
+    )
+    result = pipeline.run(
+        iterations, track_convergence=track_convergence, quorum=quorum
+    )
+    record = result.record
+    detection = detect_failure(
+        record.durations,
+        fault_onset_iteration(plan),
+        expected_broadcast_duration(config),
+        detect_factor=detect_factor,
+    )
+    summary: Dict[str, object] = {
+        "dataset": ds.name,
+        "hosts": ds.num_hosts,
+        "iterations": iterations,
+        "achieved_iterations": result.achieved_iterations,
+        "degraded": result.degraded,
+        "failed_iterations": record.failed_iterations,
+        "found_clusters": result.num_clusters,
+        "expected_clusters": ds.expectation.expected_clusters,
+        "measured_nmi": result.nmi,
+        "measured_classical_nmi": result.classical_nmi,
+        "modularity": result.modularity,
+        "measurement_time_s": result.measurement_time,
+        "nmi_per_iteration": result.nmi_per_iteration,
+        "stepping": config.stepping,
+        "control_steps": record.total_control_steps(),
+        "executor": getattr(executor, "name", None) or "serial",
+        "noise_threshold": noise_threshold,
+        "recovered": result.nmi is not None and result.nmi >= noise_threshold,
+        "result": result,
+        "ground_truth": ds.ground_truth,
+    }
+    summary.update(detection)
+    summary.update(plan.metadata())
+    if pipeline.campaign.workload is not None:
+        summary.update(pipeline.campaign.workload.metadata())
+    summary.update(summarize_workload_stats(record.workload_stats))
+    return summary

@@ -9,8 +9,11 @@ that convergence with the number of iterations (Fig. 13) can be studied.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +26,9 @@ from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.simulation.rng import RandomStreams, derive_seed
 from repro.tomography.metric import EdgeMetric, aggregate_mean
+
+#: On-disk checkpoint layout version (bump on incompatible change).
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -43,6 +49,13 @@ class MeasurementRecord:
     #: (one list of per-actor dicts per iteration); empty for single-tenant
     #: campaigns.
     workload_stats: List[List[Dict[str, object]]] = field(default_factory=list)
+    #: True when the campaign proceeded on a quorum: some planned
+    #: iterations failed and the matrices aggregate fewer samples.
+    degraded: bool = False
+    #: Zero-based indices of planned iterations that failed (quorum runs).
+    failed_iterations: List[int] = field(default_factory=list)
+    #: Iterations the campaign was asked for (``None`` → same as achieved).
+    planned_iterations: Optional[int] = None
 
     @property
     def iterations(self) -> int:
@@ -141,7 +154,19 @@ class MeasurementCampaign:
         sharing the clock and the fluid network.  The measured broadcast
         keeps the standard ``(seed, "broadcast", i)`` stream, so the empty
         workload reproduces the single-tenant campaign bit for bit.
-        Workload campaigns run in-process (``executor`` is not consulted).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or preset name): each
+        iteration then also carries the plan's fault injectors — link
+        failures, route flaps, tracker outages, tenant cycling — on the
+        shared agenda, seeded from ``(seed, "fault", i, label)`` streams.
+        The empty plan is dropped and changes nothing.
+    checkpoint:
+        Optional directory for per-iteration checkpoints.  After every
+        completed iteration its result (and workload stats) is pickled to
+        ``iter_{i:05d}.pkl`` via an atomic rename; :meth:`run` with
+        ``resume=True`` (the default) skips iterations already on disk, so
+        a campaign killed mid-run resumes where it stopped and produces a
+        record byte-identical to an uninterrupted one.
     """
 
     def __init__(
@@ -153,6 +178,8 @@ class MeasurementCampaign:
         rotate_root: bool = False,
         executor: Optional["CampaignExecutor"] = None,
         workload=None,
+        faults=None,
+        checkpoint=None,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -168,6 +195,15 @@ class MeasurementCampaign:
                 # The empty workload is the classic single-tenant campaign.
                 workload = None
         self.workload = workload
+        if faults is not None:
+            from repro.faults import fault_plan_from_name
+
+            faults = fault_plan_from_name(faults)
+            if not faults.faults:
+                # The empty plan is the fault-free campaign.
+                faults = None
+        self.faults = faults
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.routing = RoutingTable(topology)
         self._broadcast = BitTorrentBroadcast(
             topology, config, hosts=self.hosts, routing=self.routing
@@ -194,43 +230,168 @@ class MeasurementCampaign:
         )
         return self._broadcast.run(root=root, rng=rng)
 
-    def run(self, iterations: int) -> MeasurementRecord:
-        """Run ``iterations`` synchronized broadcasts and collect the record."""
-        if iterations < 1:
-            raise ValueError("iterations must be at least 1")
-        record = MeasurementRecord(hosts=list(self.hosts))
-        if self.workload is not None:
-            # Multi-tenant measurement: each iteration is its own workload
-            # engine run (fresh background actors, same shared substrate).
+    @property
+    def _multi_tenant(self) -> bool:
+        return self.workload is not None or self.faults is not None
+
+    def _run_one(self, iteration: int) -> Tuple[BroadcastResult, Optional[list]]:
+        """One iteration in-process: ``(result, actor stats or None)``."""
+        if self._multi_tenant:
             from repro.workloads import run_workload_iteration
 
-            for i in range(iterations):
-                result, stats = run_workload_iteration(
-                    self.topology,
-                    self.config,
-                    self.hosts,
-                    self.root_of(i),
-                    self.streams.seed,
-                    i,
-                    self.workload,
-                    routing=self.routing,
-                )
-                record.results.append(result)
-                record.workload_stats.append(stats)
-        elif self.executor is None:
-            for i in range(iterations):
-                record.results.append(self.run_iteration(i))
-        else:
-            specs = [
-                (("broadcast", i), self.root_of(i)) for i in range(iterations)
-            ]
-            record.results.extend(
-                self.executor.run_broadcasts(
-                    self.topology,
-                    self.config,
-                    self.hosts,
-                    self.streams.seed,
-                    specs,
-                )
+            return run_workload_iteration(
+                self.topology,
+                self.config,
+                self.hosts,
+                self.root_of(iteration),
+                self.streams.seed,
+                iteration,
+                self.workload,
+                routing=self.routing,
+                faults=self.faults,
             )
+        return self.run_iteration(iteration), None
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def _checkpoint_path(self, iteration: int) -> Path:
+        return self.checkpoint / f"iter_{iteration:05d}.pkl"
+
+    def _save_checkpoint(
+        self, iteration: int, result: BroadcastResult, stats: Optional[list]
+    ) -> None:
+        """Atomically persist one finished iteration (tmp + rename), so a
+        kill mid-write never leaves a truncated checkpoint behind."""
+        self.checkpoint.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "seed": self.streams.seed,
+            "iteration": iteration,
+            "root": self.root_of(iteration),
+            "result": result,
+            "stats": stats,
+        }
+        path = self._checkpoint_path(iteration)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp, path)
+
+    def _load_checkpoint(
+        self, iteration: int
+    ) -> Optional[Tuple[BroadcastResult, Optional[list]]]:
+        """A completed iteration from disk, or ``None`` to (re-)run it.
+
+        Unreadable or version-skewed checkpoints are treated as missing;
+        a *seed* mismatch raises, because silently mixing measurements
+        from two different campaigns would corrupt the record.
+        """
+        path = self._checkpoint_path(iteration)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return None
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        if payload.get("seed") != self.streams.seed:
+            raise ValueError(
+                f"checkpoint {path} belongs to seed {payload.get('seed')}, "
+                f"not this campaign's seed {self.streams.seed}"
+            )
+        if payload.get("iteration") != iteration:
+            return None
+        return payload["result"], payload.get("stats")
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        iterations: int,
+        resume: bool = True,
+        quorum: Optional[int] = None,
+    ) -> MeasurementRecord:
+        """Run ``iterations`` synchronized broadcasts and collect the record.
+
+        ``resume`` (with a ``checkpoint`` directory) skips iterations whose
+        results are already on disk.  ``quorum`` enables graceful
+        degradation: instead of aborting on the first failed iteration, the
+        campaign keeps going and returns once at least ``quorum`` of the
+        planned iterations succeeded, flagging the record ``degraded`` and
+        listing the casualties; fewer survivors than the quorum raises.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if quorum is not None and not 1 <= quorum <= iterations:
+            raise ValueError(
+                f"quorum must be in [1, {iterations}], got {quorum}"
+            )
+        outputs: Dict[int, Tuple[BroadcastResult, Optional[list]]] = {}
+        failed: List[int] = []
+        pending = list(range(iterations))
+        if self.checkpoint is not None and resume:
+            for i in list(pending):
+                loaded = self._load_checkpoint(i)
+                if loaded is not None:
+                    outputs[i] = loaded
+                    pending.remove(i)
+
+        if pending and self.executor is not None and quorum is None:
+            self._run_fanned_out(pending, outputs)
+        else:
+            for i in pending:
+                try:
+                    outputs[i] = self._run_one(i)
+                except Exception:
+                    if quorum is None:
+                        raise
+                    failed.append(i)
+                    continue
+                if self.checkpoint is not None:
+                    self._save_checkpoint(i, *outputs[i])
+
+        if quorum is not None and len(outputs) < quorum:
+            raise RuntimeError(
+                f"campaign quorum not met: {len(outputs)} of {iterations} "
+                f"iterations succeeded, needed {quorum}"
+            )
+        record = MeasurementRecord(
+            hosts=list(self.hosts),
+            degraded=bool(failed),
+            failed_iterations=sorted(failed),
+            planned_iterations=iterations,
+        )
+        for i in sorted(outputs):
+            result, stats = outputs[i]
+            record.results.append(result)
+            if stats is not None:
+                record.workload_stats.append(stats)
         return record
+
+    def _run_fanned_out(
+        self,
+        pending: List[int],
+        outputs: Dict[int, Tuple[BroadcastResult, Optional[list]]],
+    ) -> None:
+        """Fan the pending iterations out through the executor.
+
+        The executor retries crashed/hung tasks internally (see
+        :class:`~repro.scenarios.executors.ProcessPoolExecutor`); results
+        come back in spec order, so they pair up with ``pending`` directly.
+        """
+        specs = [(("broadcast", i), self.root_of(i)) for i in pending]
+        results, stats = self.executor.run_campaign(
+            self.topology,
+            self.config,
+            self.hosts,
+            self.streams.seed,
+            specs,
+            workload=self.workload,
+            faults=self.faults,
+        )
+        for i, result, actor_stats in zip(pending, results, stats):
+            outputs[i] = (result, actor_stats)
+            if self.checkpoint is not None:
+                self._save_checkpoint(i, result, actor_stats)

@@ -75,6 +75,16 @@ class TomographyResult:
         """Total simulated measurement time (sum of broadcast durations)."""
         return self.record.total_measurement_time()
 
+    @property
+    def degraded(self) -> bool:
+        """True when the record proceeded on a quorum (iterations failed)."""
+        return self.record.degraded
+
+    @property
+    def achieved_iterations(self) -> int:
+        """Iterations that actually contributed measurements."""
+        return self.record.iterations
+
 
 def default_swarm_config(
     num_fragments: int = DEFAULT_SIMULATED_FRAGMENTS,
@@ -141,6 +151,14 @@ class TomographyPipeline:
         (concurrent broadcasts, cross traffic, churn, capacity drift on a
         shared clock) — the interference-robustness setting of
         ``docs/workloads.md``.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or preset name): the
+        measurement phase then injects the plan's deterministic failures —
+        link outages, route flaps, tracker outages, tenant cycling — into
+        every iteration (see ``docs/faults.md``).
+    checkpoint:
+        Optional directory for per-iteration measurement checkpoints (see
+        :class:`~repro.tomography.measurement.MeasurementCampaign`).
     """
 
     def __init__(
@@ -154,6 +172,8 @@ class TomographyPipeline:
         clusterer: Optional[Callable[[WeightedGraph], Partition]] = None,
         executor=None,
         workload=None,
+        faults=None,
+        checkpoint=None,
     ) -> None:
         self.topology = topology
         self.hosts = list(hosts) if hosts is not None else topology.host_names
@@ -175,6 +195,8 @@ class TomographyPipeline:
             rotate_root=rotate_root,
             executor=executor,
             workload=workload,
+            faults=faults,
+            checkpoint=checkpoint,
         )
         self._clusterer = clusterer or (lambda graph: louvain(graph).partition)
 
@@ -197,9 +219,21 @@ class TomographyPipeline:
         }
 
     # ------------------------------------------------------------------ #
-    def run(self, iterations: int, track_convergence: bool = True) -> TomographyResult:
-        """Run the full two-phase method with ``iterations`` broadcasts."""
-        record = self.campaign.run(iterations)
+    def run(
+        self,
+        iterations: int,
+        track_convergence: bool = True,
+        resume: bool = True,
+        quorum: Optional[int] = None,
+    ) -> TomographyResult:
+        """Run the full two-phase method with ``iterations`` broadcasts.
+
+        ``resume``/``quorum`` pass through to :meth:`MeasurementCampaign
+        .run`: with a quorum, the analysis proceeds on the surviving ≥k of
+        n iterations and the result reports itself :attr:`TomographyResult
+        .degraded` instead of raising.
+        """
+        record = self.campaign.run(iterations, resume=resume, quorum=quorum)
         return self.analyze(record, track_convergence=track_convergence)
 
     def analyze(

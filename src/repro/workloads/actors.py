@@ -31,6 +31,9 @@ import numpy as np
 
 from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastSession, SwarmConfig
 
+#: Bounded announce retries before a caller gives up on a dark tracker.
+MAX_ANNOUNCE_RETRIES = 10
+
 
 class WorkloadActor:
     """Base class for everything scheduled on the shared workload agenda."""
@@ -45,6 +48,8 @@ class WorkloadActor:
             raise ValueError("actor label must be non-empty")
         self.label = label
         self.engine = None
+        #: Set by :meth:`stop`; a stopped actor schedules no further work.
+        self.stopped = False
 
     def bind(self, engine) -> None:
         """Attach to an engine (called by ``WorkloadEngine.add``)."""
@@ -53,6 +58,14 @@ class WorkloadActor:
     def start(self) -> None:
         """Schedule the actor's first event (called once by ``engine.run``)."""
         raise NotImplementedError
+
+    def stop(self) -> None:
+        """Retire the actor mid-run (tenant departure).
+
+        Pending agenda callbacks still fire but must no-op once ``stopped``
+        is set; subclasses additionally tear down in-flight flows.
+        """
+        self.stopped = True
 
     @property
     def done(self) -> bool:
@@ -231,6 +244,10 @@ class _TrafficActor(WorkloadActor):
         self.flows_started = 0
         self.bytes_offered = 0.0
         self.bytes_delivered = 0.0
+        # Insertion-ordered (dict-as-set): ``stop()`` sums transferred bytes
+        # over the live flows, and float summation order must not depend on
+        # id()-based set iteration or runs stop being bit-reproducible.
+        self._active: Dict[object, None] = {}
 
     def bind(self, engine) -> None:
         super().bind(engine)
@@ -251,12 +268,24 @@ class _TrafficActor(WorkloadActor):
     def _launch(self, src: str, dst: str, size: float):
         self.flows_started += 1
         self.bytes_offered += size
-        return self.engine.fluid.start_transfer(
+        transfer = self.engine.fluid.start_transfer(
             src, dst, size, rate_cap=self.rate_cap, on_complete=self._delivered
         )
+        self._active[transfer] = None
+        return transfer
 
     def _delivered(self, transfer) -> None:
+        self._active.pop(transfer, None)
         self.bytes_delivered += transfer.transferred
+
+    def stop(self) -> None:
+        """Departure: cancel every in-flight flow, keeping delivered bytes."""
+        super().stop()
+        for transfer in list(self._active):
+            if transfer.finish_time is None:
+                self.bytes_delivered += transfer.transferred
+                self.engine.fluid.cancel_transfer(transfer)
+        self._active.clear()
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()
@@ -304,6 +333,8 @@ class PoissonTrafficActor(_TrafficActor):
         self.engine.schedule(self, after + delay, self._on_arrival)
 
     def _on_arrival(self) -> None:
+        if self.stopped:
+            return
         src, dst = self._pick_pair()
         size = max(float(self.rng.exponential(self.mean_size)), 1.0)
         self._launch(src, dst, size)
@@ -344,16 +375,21 @@ class OnOffTrafficActor(_TrafficActor):
         self.engine.schedule(self, self.start_time + delay, self._on_period)
 
     def _on_period(self) -> None:
+        if self.stopped:
+            return
         src, dst = self.pair if self.pair is not None else self._pick_pair()
         self._transfer = self._launch(src, dst, self.burst_size)
         duration = float(self.rng.exponential(self.on_mean))
         self.engine.schedule(self, self.engine.now + duration, self._off_period)
 
     def _off_period(self) -> None:
+        if self.stopped:
+            return
         transfer = self._transfer
         self._transfer = None
         if transfer is not None and transfer.finish_time is None:
             # Count the bytes the burst actually moved before tearing it down.
+            self._active.pop(transfer, None)
             self.bytes_delivered += transfer.transferred
             self.engine.fluid.cancel_transfer(transfer)
         delay = float(self.rng.exponential(self.off_mean))
@@ -398,11 +434,13 @@ class BulkTransferActor(_TrafficActor):
         self.engine.schedule(self, self.start_time, self._begin)
 
     def _begin(self) -> None:
+        if self.stopped:
+            return
         self._launch(self.src, self.dst, self.size)
 
     def _delivered(self, transfer) -> None:
         super()._delivered(transfer)
-        if self.repeat:
+        if self.repeat and not self.stopped:
             # Restart at the exact completion time via the shared agenda
             # (clamped: completions can land a float-tolerance behind now).
             restart = max(transfer.finish_time, self.engine.now)
@@ -492,6 +530,13 @@ class ChurnActor(WorkloadActor):
     non-root peer leaves the swarm; it rejoins after an exponential
     ``downtime_mean`` with a fresh tracker announce (drawn from this
     actor's stream, so churn never perturbs the broadcast's own stream).
+
+    A rejoin is an announce, so it respects tracker outages (see
+    :class:`~repro.faults.actors.TrackerOutageActor`): while the engine's
+    ``tracker_down`` flag is set the rejoin is retried with bounded
+    exponential backoff — a deterministic schedule off ``retry_base``
+    (default ``0.1 × downtime_mean``), no extra random draws, so an empty
+    fault plan leaves the churn stream untouched bit for bit.
     """
 
     kind = "churn"
@@ -504,6 +549,7 @@ class ChurnActor(WorkloadActor):
         interval_mean: float,
         downtime_mean: float,
         start_time: float = 0.0,
+        retry_base: Optional[float] = None,
     ) -> None:
         super().__init__(label)
         if interval_mean <= 0 or downtime_mean <= 0:
@@ -513,8 +559,13 @@ class ChurnActor(WorkloadActor):
         self.interval_mean = interval_mean
         self.downtime_mean = downtime_mean
         self.start_time = float(start_time)
+        self.retry_base = (
+            float(retry_base) if retry_base is not None else 0.1 * downtime_mean
+        )
         self.leaves = 0
         self.rejoins = 0
+        self.announce_retries = 0
+        self.announce_failures = 0
 
     def start(self) -> None:
         self._schedule_leave(self.start_time)
@@ -553,9 +604,20 @@ class ChurnActor(WorkloadActor):
                 )
         self._schedule_leave(self.engine.now)
 
-    def _on_rejoin(self, name: str) -> None:
+    def _on_rejoin(self, name: str, attempt: int = 0) -> None:
         target = self.target
         if target.done:
+            return
+        if getattr(self.engine, "tracker_down", False):
+            if attempt >= MAX_ANNOUNCE_RETRIES:
+                self.announce_failures += 1
+                return
+            self.announce_retries += 1
+            self.engine.schedule(
+                self,
+                self.engine.now + self.retry_base * (2.0 ** attempt),
+                lambda: self._on_rejoin(name, attempt + 1),
+            )
             return
         target.session.request_rejoin(name, self.rng)
         target.wake_at(self.engine.now)
@@ -573,6 +635,8 @@ class ChurnActor(WorkloadActor):
                 "rejoins": applied["rejoin"],
                 "leave_requests": self.leaves,
                 "rejoin_requests": self.rejoins,
+                "announce_retries": self.announce_retries,
+                "announce_failures": self.announce_failures,
             }
         )
         return out

@@ -77,6 +77,11 @@ class WorkloadEngine:
         self.fluid.retain_completed = False
         self.actors: List[WorkloadActor] = []
         self.events_dispatched = 0
+        #: Set by :class:`~repro.faults.actors.TrackerOutageActor` while the
+        #: rendezvous service is dark; announce-dependent actors check it and
+        #: retry with bounded backoff.
+        self.tracker_down = False
+        self._running = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -91,6 +96,36 @@ class WorkloadEngine:
         actor.bind(self)
         self.actors.append(actor)
         return actor
+
+    def add_runtime(self, actor: WorkloadActor) -> WorkloadActor:
+        """Add a tenant to a *live* engine (mid-:meth:`run` arrival).
+
+        Like :meth:`add`, but when the drive loop is already running the
+        actor is started immediately so it can schedule its first events
+        from the current clock.  Late arrivals must not be blocking: the
+        drive loop's exit condition was fixed when :meth:`run` started.
+        """
+        if actor.blocking and self._running:
+            raise ValueError(
+                f"cannot add blocking actor {actor.label!r} to a running engine"
+            )
+        self.add(actor)
+        if self._running:
+            actor.start()
+        return actor
+
+    def set_routing(self, routing: RoutingTable) -> None:
+        """Swap the routing table mid-run (route flaps).
+
+        Only *new* transfers consult the table; in-flight flows keep the
+        pinned link lists they were opened with.  The replacement must be
+        built over the same topology so its dense link index stays aligned
+        with the fluid network's capacity vector.
+        """
+        if routing.topology is not self.topology:
+            raise ValueError("replacement routing table is over a different topology")
+        self.routing = routing
+        self.fluid.routing = routing
 
     def schedule(self, actor: WorkloadActor, time: float, callback) -> Event:
         """Put an actor callback on the shared agenda (tagged with its owner)."""
@@ -113,7 +148,8 @@ class WorkloadEngine:
             raise ValueError(
                 "a workload with no blocking actor needs an explicit horizon"
             )
-        for actor in self.actors:
+        self._running = True
+        for actor in list(self.actors):
             actor.start()
 
         processed = 0
@@ -157,6 +193,7 @@ class WorkloadEngine:
             if event is not None and self.fluid.transitions != snapshot:
                 self._network_changed(t_event, source=event.owner)
 
+        self._running = False
         if until is not None:
             self.fluid.advance_to(until)
             self.simulator.advance_to(until)

@@ -220,9 +220,10 @@ def run_workload_iteration(
     root: Optional[str],
     base_seed: int,
     iteration: int,
-    workload: WorkloadSpec,
+    workload: Optional[WorkloadSpec],
     routing: Optional[RoutingTable] = None,
     trace=None,
+    faults=None,
 ):
     """Run one measured broadcast inside its interference workload.
 
@@ -231,6 +232,11 @@ def run_workload_iteration(
     same derivation :class:`~repro.tomography.measurement
     .MeasurementCampaign` uses — so the empty workload reproduces the
     single-tenant campaign bit for bit.
+
+    ``faults`` optionally adds a :class:`~repro.faults.spec.FaultPlan`'s
+    injectors to the same agenda, each on its own
+    ``(seed, "fault", iteration, label)`` stream; the empty plan adds no
+    actor and changes nothing.
     """
     engine = WorkloadEngine(topology, routing=routing)
     rng = np.random.default_rng(derive_seed(base_seed, "broadcast", iteration))
@@ -239,11 +245,19 @@ def run_workload_iteration(
     )
     engine.add(primary)
     swarm_hosts = primary.broadcast.hosts
-    for spec in workload.actors:
-        actor_rng = np.random.default_rng(
-            derive_seed(base_seed, "workload", iteration, spec.label)
-        )
-        engine.add(_build_actor(spec, config, swarm_hosts, primary, actor_rng))
+    if workload is not None:
+        for spec in workload.actors:
+            actor_rng = np.random.default_rng(
+                derive_seed(base_seed, "workload", iteration, spec.label)
+            )
+            engine.add(_build_actor(spec, config, swarm_hosts, primary, actor_rng))
+    if faults is not None:
+        from repro.faults.spec import build_fault_actors
+
+        for injector in build_fault_actors(
+            faults, config, swarm_hosts, primary, base_seed, iteration
+        ):
+            engine.add(injector)
     engine.run()
     return primary.result, engine.stats()
 

@@ -1,5 +1,9 @@
 """Campaign executor backends: chunking, resolution, and — crucially —
-bit-for-bit equality between the serial and process-pool paths."""
+bit-for-bit equality between the serial and process-pool paths, including
+recovery from crashed and hung workers (the ``chaos`` marker)."""
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -7,14 +11,42 @@ import pytest
 from repro.experiments.runners import run_broadcast_efficiency
 from repro.scenarios.executors import (
     BroadcastTask,
+    CampaignExecutionError,
     ProcessPoolExecutor,
     SerialExecutor,
     default_executor,
     execute_task,
+    execute_task_output,
     executor_from_name,
+    workers_from_env,
 )
 from repro.tomography.measurement import MeasurementCampaign
 from repro.tomography.pipeline import default_swarm_config
+
+#: Sentinel file for the chaos task functions: the first worker to find it
+#: missing creates it and misbehaves; retries then run clean.  Module-level
+#: so the fork-started workers inherit the per-test path.
+_CHAOS_FLAG = None
+
+
+def _crash_once_fn(task):
+    """Hard-kill the first worker process (simulates a segfaulting task)."""
+    if _CHAOS_FLAG is not None and not os.path.exists(_CHAOS_FLAG):
+        open(_CHAOS_FLAG, "w").close()
+        os._exit(1)
+    return execute_task_output(task)
+
+
+def _hang_once_fn(task):
+    """Stall the first worker past any reasonable task timeout."""
+    if _CHAOS_FLAG is not None and not os.path.exists(_CHAOS_FLAG):
+        open(_CHAOS_FLAG, "w").close()
+        time.sleep(300)
+    return execute_task_output(task)
+
+
+def _always_crash_fn(task):
+    os._exit(1)
 
 
 def assert_records_identical(a, b):
@@ -172,6 +204,145 @@ class TestBackendEquality:
         )
         assert serial["durations_by_nodes"] == pooled["durations_by_nodes"]
         assert serial["durations_by_fragments"] == pooled["durations_by_fragments"]
+
+
+class TestWorkersEnvValidation:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR_WORKERS", raising=False)
+        assert workers_from_env() is None
+        # A blank value reads as "unset", not as an error.
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "  ")
+        assert workers_from_env() is None
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "1.5"])
+    def test_invalid_values_rejected_with_clear_error(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR_WORKERS"):
+            workers_from_env()
+
+    def test_default_executor_surfaces_the_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR_WORKERS"):
+            default_executor()
+
+    def test_executor_from_name_falls_back_to_env(self, monkeypatch):
+        # The CLI path (`--executor process` without `--workers`) must
+        # honour — and therefore validate — the env var too.
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "3")
+        assert executor_from_name("process").workers == 3
+        monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "zero")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR_WORKERS"):
+            executor_from_name("process")
+        # An explicit workers= wins over the environment.
+        assert executor_from_name("process", workers=2).workers == 2
+
+    def test_fault_tolerance_knob_validation(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessPoolExecutor(task_timeout=0)
+        with pytest.raises(ValueError, match="retries"):
+            ProcessPoolExecutor(retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ProcessPoolExecutor(retry_backoff=-0.1)
+
+
+class TestWorkloadFaultTaskThreading:
+    """Satellite guard: ``--executor process`` campaigns must actually run
+    the workload/fault plan, not silently fall back to bare broadcasts."""
+
+    def _records(self, topology, config, executor, **kwargs):
+        return MeasurementCampaign(
+            topology, config, seed=42, executor=executor, **kwargs
+        ).run(3)
+
+    def test_process_pool_runs_workloads(self, two_site_topology, tiny_swarm_config):
+        serial = self._records(
+            two_site_topology, tiny_swarm_config, None, workload="churn"
+        )
+        pooled = self._records(
+            two_site_topology,
+            tiny_swarm_config,
+            ProcessPoolExecutor(workers=2),
+            workload="churn",
+        )
+        assert_records_identical(serial, pooled)
+        # The guard proper: the pooled record carries real per-iteration
+        # workload stats — the tenants ran inside the worker processes.
+        assert pooled.workload_stats == serial.workload_stats
+        assert any(
+            row["kind"] == "churn" for it in pooled.workload_stats for row in it
+        )
+
+    def test_process_pool_runs_fault_plans(self, two_site_topology, tiny_swarm_config):
+        serial = self._records(
+            two_site_topology, tiny_swarm_config, None,
+            workload="rival", faults="chaos",
+        )
+        pooled = self._records(
+            two_site_topology,
+            tiny_swarm_config,
+            ProcessPoolExecutor(workers=2),
+            workload="rival", faults="chaos",
+        )
+        assert_records_identical(serial, pooled)
+        assert pooled.workload_stats == serial.workload_stats
+        assert any(
+            row.get("fault") for it in pooled.workload_stats for row in it
+        )
+
+
+@pytest.mark.chaos
+class TestWorkerFaultTolerance:
+    """Crash/hang injection: the pool must terminate or survive misbehaving
+    workers, retry on a fresh pool, and still produce byte-identical
+    records."""
+
+    def _serial_record(self, topology, config):
+        return MeasurementCampaign(topology, config, seed=42).run(3)
+
+    def _chaos_executor(self, task_fn, **kwargs):
+        return ProcessPoolExecutor(
+            workers=2, task_fn=task_fn, retries=2, retry_backoff=0.01, **kwargs
+        )
+
+    @pytest.fixture(autouse=True)
+    def chaos_flag(self, tmp_path):
+        global _CHAOS_FLAG
+        _CHAOS_FLAG = str(tmp_path / "misbehaved")
+        yield
+        _CHAOS_FLAG = None
+
+    def test_recovers_from_crashed_worker(self, two_site_topology, tiny_swarm_config):
+        executor = self._chaos_executor(_crash_once_fn)
+        record = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42, executor=executor
+        ).run(3)
+        assert_records_identical(
+            self._serial_record(two_site_topology, tiny_swarm_config), record
+        )
+        assert executor.task_failures >= 1
+
+    def test_recovers_from_hung_worker(self, two_site_topology, tiny_swarm_config):
+        executor = self._chaos_executor(_hang_once_fn, task_timeout=15)
+        record = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42, executor=executor
+        ).run(3)
+        assert_records_identical(
+            self._serial_record(two_site_topology, tiny_swarm_config), record
+        )
+        assert executor.task_failures >= 1
+
+    def test_persistent_crash_raises_after_retries(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        executor = ProcessPoolExecutor(
+            workers=2, task_fn=_always_crash_fn, retries=1, retry_backoff=0.01
+        )
+        campaign = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42, executor=executor
+        )
+        with pytest.raises(CampaignExecutionError, match="after 1 retr"):
+            campaign.run(3)
 
 
 class TestPipelineIntegration:

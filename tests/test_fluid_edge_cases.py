@@ -132,6 +132,109 @@ class TestCapacityChangeTransitions:
         assert net.link_capacity("bottleneck") == 10 * MBPS
 
 
+class TestFailureOnPredictedTransition:
+    def test_failure_landing_exactly_on_predicted_transition(
+        self, dumbbell_topology
+    ):
+        """A link *failure* (capacity collapse to a positive residual) landing
+        on the very instant of a predicted completion: bytes are settled
+        under the old rates first, the survivor then drains at the residual
+        rate."""
+        net = FluidNetwork(dumbbell_topology)
+        short = net.start_transfer("left-0", "left-1", 1e6)
+        long = net.start_transfer("left-2", "right-0", 50e6)
+        predicted = net.next_transition()
+        finished = net.advance_to(predicted)
+        assert short in finished
+        moved_before = long.transferred
+        residual_rate = 1e-3 * net.link_capacity("bottleneck")
+        net.set_link_capacity("bottleneck", residual_rate)
+        assert long.transferred == pytest.approx(moved_before, rel=1e-12)
+        transition = net.next_transition()
+        assert transition == pytest.approx(
+            predicted + (long.size - moved_before) / residual_rate, rel=1e-9
+        )
+
+    def _broadcast_under_failure(self, topology, stepping, fail_time=None):
+        """Fingerprint a workload broadcast; at ``fail_time`` the bottleneck
+        collapses to half capacity.  With ``fail_time=None``, instead record
+        every transition time the engine's predictor returns."""
+        from repro.bittorrent.swarm import SwarmConfig
+        from repro.bittorrent.torrent import TorrentMeta
+        from repro.workloads import BroadcastActor, WorkloadEngine
+        from repro.workloads.actors import WorkloadActor
+
+        class ScriptedFailure(WorkloadActor):
+            kind = "link-failure"
+
+            def __init__(self, label, time, link):
+                super().__init__(label)
+                self.time, self.link = time, link
+
+            def start(self):
+                self.engine.schedule(self, self.time, self._fail)
+
+            def _fail(self):
+                fluid = self.engine.fluid
+                fluid.set_link_capacity(
+                    self.link, 0.1 * fluid.link_capacity(self.link)
+                )
+
+        meta = TorrentMeta(name="edge", fragment_size=16384, num_fragments=40)
+        config = SwarmConfig(torrent=meta, stepping=stepping)
+        engine = WorkloadEngine(topology)
+        primary = engine.add(
+            BroadcastActor("primary", config, rng=np.random.default_rng(17))
+        )
+        predicted = []
+        if fail_time is None:
+            original = engine.fluid.next_transition
+
+            def spy():
+                t = original()
+                if t is not None:
+                    predicted.append(t)
+                return t
+
+            engine.fluid.next_transition = spy
+        else:
+            engine.add(ScriptedFailure("blackout", fail_time, "bottleneck"))
+        engine.run()
+        result = primary.result
+        return (
+            tuple(result.fragments.labels),
+            result.fragments.counts.tobytes(),
+            result.duration,
+            predicted,
+        )
+
+    def test_fixed_and_event_agree_when_failure_hits_a_transition(
+        self, dumbbell_topology
+    ):
+        """Fixed and event stepping stay bit-identical when a link failure
+        lands *exactly* on a predicted fluid transition — the engine's
+        tie-break (settle completions, then run the agenda event) must be
+        the same in both modes."""
+        # Probe run: harvest the exact transition instants the predictor
+        # announces mid-broadcast, then aim the failure at one of them.
+        probe = self._broadcast_under_failure(dumbbell_topology, "fixed")
+        probe_duration, predicted = probe[2], probe[3]
+        mid_flight = sorted(t for t in predicted if 0 < t < probe_duration)
+        assert mid_flight, "broadcast produced no mid-flight transitions"
+        fail_time = mid_flight[len(mid_flight) // 4]
+
+        fixed = self._broadcast_under_failure(
+            dumbbell_topology, "fixed", fail_time=fail_time
+        )
+        event = self._broadcast_under_failure(
+            dumbbell_topology, "event", fail_time=fail_time
+        )
+        assert fixed[:3] == event[:3]
+        # And the failure really happened: the degraded broadcast's matrix
+        # or duration differs from the healthy probe's.
+        assert fixed[:3] != probe[:3]
+
+
 class TestRetainCompleted:
     def test_completed_list_can_be_disabled(self, dumbbell_topology):
         net = FluidNetwork(dumbbell_topology)

@@ -61,6 +61,10 @@ SMOKE_ARGS = {
     "CHURN": ["--iterations", "2", "--fragments", "80", "--per-site", "2"],
     "MIXED-TENANCY": ["--iterations", "2", "--fragments", "80",
                       "--per-site", "2"],
+    "FAULT-INJECTION": ["--iterations", "2", "--fragments", "80",
+                        "--per-site", "2"],
+    "LINK-BLACKOUT": ["--iterations", "3", "--fragments", "80",
+                      "--per-site", "2"],
 }
 
 

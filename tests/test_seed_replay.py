@@ -222,13 +222,9 @@ def interference_workload(family):
     }[family]()
 
 
-@pytest.mark.parametrize("stepping", STEPPING_MODES)
-@pytest.mark.parametrize("family", sorted(INTERFERENCE_GOLDENS))
-def test_interference_campaigns_replay_their_goldens(family, stepping):
-    """Multi-tenant campaigns replay bit-for-bit from their seed, in both
-    stepping modes: the per-actor RNG streams are derived statelessly from
-    (seed, "workload", iteration, label) and the shared-clock interleaving
-    is deterministic."""
+def campaign_fingerprint(stepping, workload=None, faults=None):
+    """sha256 over a two-iteration G-T campaign (per_site=3, 150 fragments,
+    seed 2012) — the shared fingerprint of the interference/fault goldens."""
     from repro.experiments.datasets import dataset
     from repro.tomography.measurement import MeasurementCampaign
     from repro.tomography.pipeline import default_swarm_config
@@ -240,10 +236,84 @@ def test_interference_campaigns_replay_their_goldens(family, stepping):
         config,
         hosts=ds.hosts,
         seed=2012,
-        workload=interference_workload(family),
+        workload=workload,
+        faults=faults,
     ).run(2)
     digest = hashlib.sha256()
     for result in record.results:
         digest.update(("|".join(result.fragments.labels)).encode())
         digest.update(result.fragments.counts.astype(np.int64).tobytes())
-    assert digest.hexdigest() == INTERFERENCE_GOLDENS[family]
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+@pytest.mark.parametrize("family", sorted(INTERFERENCE_GOLDENS))
+def test_interference_campaigns_replay_their_goldens(family, stepping):
+    """Multi-tenant campaigns replay bit-for-bit from their seed, in both
+    stepping modes: the per-actor RNG streams are derived statelessly from
+    (seed, "workload", iteration, label) and the shared-clock interleaving
+    is deterministic."""
+    fingerprint = campaign_fingerprint(
+        stepping, workload=interference_workload(family)
+    )
+    assert fingerprint == INTERFERENCE_GOLDENS[family]
+
+
+# ---------------------------------------------------------------------- #
+# fault-injection replay (PR 6)
+# ---------------------------------------------------------------------- #
+#: Pinned campaign fingerprints under injected faults (same G-T campaign as
+#: INTERFERENCE_GOLDENS).  Fault actors draw from stateless
+#: (seed, "fault", iteration, label) streams, so campaigns under failure
+#: replay bit-for-bit in both stepping modes.
+FAULT_GOLDENS = {
+    "link-failure": (
+        "3112f50bbb650b6f327c05d2a058ff8f16189aae1a8a1c52a8f7fa48950abbd1"
+    ),
+    "blackout": (
+        "40e68ce9c94ee2433465b1a142b1d808817ef47a5b24f3bc7380371fcf5a0324"
+    ),
+    "chaos": (
+        "ead717e92ef73e49b6b9135f9fd31fc0d7667c4621fe8a9c53c1d14be1b0d5ac"
+    ),
+}
+
+
+def fault_plan(family):
+    from repro.faults import blackout_plan, chaos_plan, link_failure_plan
+
+    return {
+        "link-failure": lambda: link_failure_plan(intensity=1.0),
+        "blackout": lambda: blackout_plan(from_iteration=1),
+        "chaos": lambda: chaos_plan(intensity=1.0),
+    }[family]()
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+@pytest.mark.parametrize("family", sorted(FAULT_GOLDENS))
+def test_fault_campaigns_replay_their_goldens(family, stepping):
+    """Campaigns under injected failure replay bit-for-bit from their seed,
+    in both stepping modes."""
+    fingerprint = campaign_fingerprint(stepping, faults=fault_plan(family))
+    assert fingerprint == FAULT_GOLDENS[family]
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_empty_fault_plan_replays_the_faultless_goldens(stepping):
+    """The acceptance gate of the fault subsystem: an *empty* FaultPlan is a
+    bitwise no-op — the campaign fingerprint equals the plain campaign's,
+    and the workload path still reproduces the scalar-era broadcast
+    goldens."""
+    from repro.faults import NO_FAULTS
+
+    assert campaign_fingerprint(stepping) == campaign_fingerprint(
+        stepping, faults=NO_FAULTS
+    )
+
+    topology = build_multi_site(
+        {site: {default_cluster_of(site): 4} for site in ("bordeaux", "grenoble")}
+    )
+    fingerprint = workload_broadcast_fingerprint(
+        topology, 80, seed=73, stepping=stepping
+    )
+    assert fingerprint == GOLDENS[stepping]["multi-site"]
