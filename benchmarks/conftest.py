@@ -101,6 +101,13 @@ def bench_once(benchmark):
             benchmark.extra_info["control_steps_per_broadcast"] = round(
                 steps / broadcasts, 1
             )
+            # Average lanes per batched lock-step run (1 for scalar rows),
+            # so the BENCH record distinguishes batched from serial rows.
+            lanes = RUN_TALLY["batched_broadcasts"] - before["batched_broadcasts"]
+            batched_runs = RUN_TALLY["batched_runs"] - before["batched_runs"]
+            benchmark.extra_info["batch_width"] = (
+                round(lanes / batched_runs, 1) if batched_runs else 1
+            )
         return outcome
 
     return _run

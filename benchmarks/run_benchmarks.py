@@ -139,6 +139,7 @@ def normalize(raw_json: Path, executor: str, profile: str, stepping: str) -> dic
             "broadcasts",
             "control_steps",
             "control_steps_per_broadcast",
+            "batch_width",
             "workload",
             "workload_actors",
             "interference_intensity",
@@ -171,6 +172,8 @@ def run_scenarios(
         elapsed = time.perf_counter() - start
         broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
         steps = RUN_TALLY["control_steps"] - before["control_steps"]
+        lanes = RUN_TALLY["batched_broadcasts"] - before["batched_broadcasts"]
+        batched_runs = RUN_TALLY["batched_runs"] - before["batched_runs"]
         print(f"  scenario:{name:<30s} {elapsed:8.3f}s  "
               f"({executor_name}, {stepping})")
         row = {
@@ -186,6 +189,10 @@ def run_scenarios(
             "control_steps_per_broadcast": (
                 round(steps / broadcasts, 1) if broadcasts else 0.0
             ),
+            # Average lanes per batched lock-step run; 1 for scalar rows.
+            "batch_width": (
+                round(lanes / batched_runs, 1) if batched_runs else 1
+            ),
         }
         # Interference scenarios describe the contention they measured under.
         for key in ("workload", "workload_actors", "interference_intensity"):
@@ -196,9 +203,24 @@ def run_scenarios(
     return {**metadata(profile, stepping), "benchmarks": rows}
 
 
-def compare(current: dict, baseline_path: Path) -> None:
+#: A shared row slower than baseline by more than this fraction regresses.
+REGRESSION_THRESHOLD = 0.25
+
+
+def compare(
+    current: dict, baseline_path: Path, threshold: float = REGRESSION_THRESHOLD
+) -> list:
+    """Print per-row speedups vs a prior BENCH file; return the regressions.
+
+    A shared row regresses when its wall-clock exceeds the baseline by more
+    than ``threshold`` (new rows and rows that disappeared never regress).
+    The returned list of ``(name, speedup)`` pairs is empty on a clean run;
+    :func:`main` turns a non-empty list into a non-zero exit status so CI
+    can gate on it.
+    """
     baseline = json.loads(baseline_path.read_text())
     old = {entry["name"]: entry["wall_clock_s"] for entry in baseline.get("benchmarks", [])}
+    regressions = []
     print(f"\n== comparison vs {baseline_path.name} ==")
     for entry in current["benchmarks"]:
         reference = old.get(entry["name"])
@@ -206,10 +228,20 @@ def compare(current: dict, baseline_path: Path) -> None:
             print(f"  {entry['name']:<60s} (new)")
             continue
         speedup = reference / entry["wall_clock_s"] if entry["wall_clock_s"] else float("inf")
+        flag = ""
+        if entry["wall_clock_s"] > reference * (1.0 + threshold):
+            flag = "  ** REGRESSION **"
+            regressions.append((entry["name"], speedup))
         print(
             f"  {entry['name']:<60s} {reference:8.3f}s -> "
-            f"{entry['wall_clock_s']:8.3f}s  ({speedup:5.2f}x)"
+            f"{entry['wall_clock_s']:8.3f}s  ({speedup:5.2f}x){flag}"
         )
+    if regressions:
+        print(
+            f"{len(regressions)} row(s) regressed by more than "
+            f"{threshold:.0%} vs {baseline_path.name}"
+        )
+    return regressions
 
 
 def main() -> int:
@@ -219,12 +251,14 @@ def main() -> int:
     parser.add_argument("-k", "--select", default=None,
                         help="pytest -k expression to run a subset")
     parser.add_argument("--compare", default=None,
-                        help="prior BENCH_*.json to print speedups against")
+                        help="prior BENCH_*.json to print speedups against; "
+                             "exits non-zero if any shared row regressed by "
+                             ">25%%")
     parser.add_argument("--scenario", action="append", default=None,
                         metavar="NAME",
                         help="time this registered scenario instead of the "
                              "pytest suite (repeatable; see `python -m repro list`)")
-    parser.add_argument("--executor", choices=("serial", "process"),
+    parser.add_argument("--executor", choices=("serial", "process", "batched"),
                         default="serial",
                         help="campaign-executor backend recorded per row")
     parser.add_argument("--workers", type=int, default=None,
@@ -277,7 +311,8 @@ def main() -> int:
     output.write_text(json.dumps(normalized, indent=2, sort_keys=False) + "\n")
     print(f"wrote {output} ({len(normalized['benchmarks'])} benchmarks)")
     if args.compare:
-        compare(normalized, Path(args.compare))
+        if compare(normalized, Path(args.compare)):
+            return 1
     return 0
 
 

@@ -1,0 +1,51 @@
+"""Multi-seed campaign: serial executor vs the batched lock-step engine.
+
+The two rows run the *same* G-T measurement campaign (same topology, seed
+and iteration count) through the serial path and through
+:class:`~repro.scenarios.executors.BatchedExecutor`, so their wall-clock
+ratio is the batched kernel's measured speedup — recorded per PR in the
+BENCH files and discussed honestly (Amdahl ceiling and all) in
+``docs/performance.md``.  Lane records are bit-identical to serial, which
+the harness re-asserts here on the cheap summary fields.
+"""
+
+from benchmarks.conftest import ITERATIONS, NUM_FRAGMENTS, PER_SITE, SEED, report
+from repro.experiments.datasets import dataset
+from repro.scenarios.executors import BatchedExecutor
+from repro.tomography.measurement import MeasurementCampaign
+from repro.tomography.pipeline import default_swarm_config
+
+
+def _run_campaign(executor):
+    ds = dataset("G-T", per_site=PER_SITE)
+    config = default_swarm_config(NUM_FRAGMENTS)
+    campaign = MeasurementCampaign(
+        ds.topology, config, hosts=ds.hosts, seed=SEED, executor=executor
+    )
+    return campaign.run(ITERATIONS)
+
+
+def test_campaign_multiseed_serial(bench_once):
+    record = bench_once(_run_campaign, None)
+    report(
+        "batched kernel baseline — serial G-T campaign",
+        {
+            "iterations": len(record.results),
+            "batch_width": record.results[0].batch_width,
+        },
+    )
+    assert len(record.results) == ITERATIONS
+    assert all(result.batch_width == 1 for result in record.results)
+
+
+def test_campaign_multiseed_batched(bench_once):
+    record = bench_once(_run_campaign, BatchedExecutor())
+    report(
+        "batched kernel — lock-step G-T campaign",
+        {
+            "iterations": len(record.results),
+            "batch_width": record.results[0].batch_width,
+        },
+    )
+    assert len(record.results) == ITERATIONS
+    assert all(result.batch_width == ITERATIONS for result in record.results)

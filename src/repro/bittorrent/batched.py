@@ -1,0 +1,228 @@
+"""Batched multi-seed broadcast engine: one campaign as a lock-step array program.
+
+A measurement campaign replays the *same* scenario under many independent
+seeds.  :class:`BatchedBroadcast` runs those replays as *lanes* of a single
+lock-step driver: every lane is an ordinary
+:class:`~repro.bittorrent.swarm.BroadcastSession` (own RNG stream, own
+anchored :class:`~repro.network.fluid.FluidNetwork`), but the driver advances
+all lanes through the shared control grid together and fuses the one
+cross-lane-batchable computation — the per-step interest matrix — into a
+single stacked ``(lanes, hosts, hosts)`` float32 matmul.
+
+Exactness is by construction rather than by reimplementation: the lanes run
+the unmodified :meth:`BitTorrentBroadcast._drive` loop, and the batched
+interest answer is bit-identical to the scalar ``recompute_wanted()`` because
+every entry of ``have @ have.T`` is an exact integer far below ``2**24`` —
+all partial products are 0/1 and all partial sums are exactly representable
+in float32, so *any* summation order (2-D GEMM, stacked 3-D matmul, any BLAS
+kernel) produces the same bits.  Each lane therefore replays its scalar
+sha256 golden exactly (``tests/test_seed_replay.py``).
+
+What this buys — and what it cannot: profiling (see ``docs/performance.md``)
+shows ~65% of the scalar hot path is the per-receipt conversion loop, whose
+RNG draws are data-dependent per lane and unbatchable without changing the
+random stream.  The interest matmul plus per-step Python overhead is the
+batchable remainder, which bounds the achievable speedup (Amdahl) well below
+the optimistic 5x target; the measured numbers live in ``BENCH_PR8.json``.
+
+Lanes never lose lock-step here because batched runs are restricted to the
+empty workload/fault plan (the :class:`~repro.scenarios.executors
+.BatchedExecutor` falls back to the scalar path otherwise, the same
+oracle-vs-fast pattern as ``network/solver.py``); within that restriction the
+driver is exact for both stepping modes, since event-mode lanes that jump
+simply park at a later grid step and rejoin the round-robin when due.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bittorrent.swarm import (
+    MATMUL_INTEREST_LIMIT,
+    RUN_TALLY,
+    BitTorrentBroadcast,
+    BroadcastResult,
+    BroadcastSession,
+    SwarmConfig,
+)
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simulation.rng import RandomStreams
+
+#: One lane spec: (root or None, per-lane random generator or None).
+Lane = Tuple[Optional[str], Optional[np.random.Generator]]
+
+
+def _due_step(request: Tuple) -> int:
+    """Grid step at which a pending clock request becomes serviceable."""
+    if request[0] == "sleep":
+        return request[2]  # ("sleep", from_step, target_step, time)
+    return request[1]  # ("advance", step, time) / ("interest", step, time, have)
+
+
+class BatchedBroadcast:
+    """Run many seeded replays of one broadcast scenario in lock-step.
+
+    Shares a single :class:`BitTorrentBroadcast` (routing table and TCP
+    rate-cap caches are computed once for all lanes); every lane gets its own
+    session and private fluid network, so per-lane state is exactly the
+    scalar state.  Results come back in lane order with
+    :attr:`~repro.bittorrent.swarm.BroadcastResult.batch_width` set to the
+    number of lanes that ran together.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SwarmConfig,
+        hosts: Optional[Sequence[str]] = None,
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        self.broadcast = BitTorrentBroadcast(
+            topology, config, hosts=hosts, routing=routing
+        )
+
+    @property
+    def hosts(self) -> List[str]:
+        return self.broadcast.hosts
+
+    @property
+    def config(self) -> SwarmConfig:
+        return self.broadcast.config
+
+    # ------------------------------------------------------------------ #
+    def run_specs(
+        self,
+        base_seed: int,
+        specs: Iterable[Tuple[Tuple, Optional[str]]],
+    ) -> List[BroadcastResult]:
+        """Run campaign iteration specs ``(stream_labels, root)`` as lanes.
+
+        Stream derivation matches the campaign's serial path exactly:
+        iteration ``i`` draws from ``RandomStreams(base_seed).stream(*labels)``
+        with labels ``("broadcast", i)``.
+        """
+        streams = RandomStreams(base_seed)
+        lanes = [(root, streams.stream(*labels)) for labels, root in specs]
+        return self.run_many(lanes)
+
+    def run_many(self, lanes: Sequence[Lane]) -> List[BroadcastResult]:
+        """Run one ``(root, rng)`` lane per entry and return lane results."""
+        if not lanes:
+            return []
+        sessions = [
+            BroadcastSession(self.broadcast, root=root, rng=rng, batch_interest=True)
+            for root, rng in lanes
+        ]
+        self._drive_lock_step(sessions)
+        width = len(sessions)
+        RUN_TALLY["batched_runs"] += 1
+        RUN_TALLY["batched_broadcasts"] += width
+        results: List[BroadcastResult] = []
+        for session in sessions:
+            result = session.result
+            result.batch_width = width
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _drive_lock_step(self, sessions: List[BroadcastSession]) -> None:
+        """Round-based driver: service all lanes due at the earliest step.
+
+        Lanes wait on a heap keyed by the grid step their pending request is
+        due at (lane index as tie-break), so each round pops exactly the due
+        lanes instead of scanning the whole batch.  A round fulfils every
+        ``advance``/``sleep`` request due at that step (a lane may
+        immediately re-request at the same step — e.g. an interest point
+        right after a conversion pass — so requests are drained until the
+        lane parks, finishes, or asks about a future step), then answers all
+        lanes parked at an ``interest`` point with one stacked matmul.
+        Per-lane request/response sequences are exactly the standalone
+        driver's, so lane state evolution is bit-identical to scalar runs —
+        lanes are fully independent, and round grouping only decides which
+        of them share a matmul.
+        """
+        import heapq
+
+        num_fragments = self.config.torrent.num_fragments
+        n = len(self.hosts)
+        # Scratch for the stacked bitfields, sliced to each round's width.
+        # Incremental-interest scenarios (above the matmul crossover) never
+        # yield "interest", so no buffer is reserved for them.
+        if n * n * num_fragments <= MATMUL_INTEREST_LIMIT:
+            stack = np.empty((len(sessions), n, num_fragments), dtype=np.float32)
+        else:
+            stack = None
+
+        heap: List[Tuple[int, int]] = []
+        for lane, session in enumerate(sessions):
+            request = session.start()
+            if not session.finished:
+                # Matmul-mode lanes all open at the step-0 interest point,
+                # so the very first batch runs at full width.
+                heap.append((_due_step(request), lane))
+        heapq.heapify(heap)
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while heap:
+            t_step = heap[0][0]
+            parked: List[Tuple[int, BroadcastSession]] = []
+            while heap and heap[0][0] == t_step:
+                lane = heappop(heap)[1]
+                session = sessions[lane]
+                request = session.request
+                while True:
+                    kind = request[0]
+                    if kind == "interest":
+                        parked.append((lane, session))
+                        break
+                    if kind == "advance":
+                        session.fluid.advance_to(request[2])
+                        request = session.resume(None)
+                    else:  # "sleep": nothing can intervene, grant the jump
+                        request = session.resume(request[2])
+                    if session.finished:
+                        break
+                    due = _due_step(request)
+                    if due > t_step:
+                        heappush(heap, (due, lane))
+                        break
+            if parked:
+                self._fulfil_interest([s for _, s in parked], stack)
+                for lane, session in parked:
+                    if not session.finished:
+                        heappush(heap, (_due_step(session.request), lane))
+
+    def _fulfil_interest(
+        self,
+        parked: List[BroadcastSession],
+        stack: np.ndarray,
+    ) -> List[BroadcastSession]:
+        """Answer every parked lane with its slice of one stacked matmul.
+
+        Returns the lanes still running (their fresh requests are strictly
+        in the future, so the caller simply re-queues them).
+        """
+        width = len(parked)
+        if width == 1:
+            # Degenerate round: the 2-D product is the scalar path verbatim.
+            have = parked[0].request[3]
+            have_f = have.astype(np.float32)
+            common = have_f @ have_f.T
+            wanted_rounds = [common.diagonal()[:, None] - common]
+        else:
+            batch = stack[:width]
+            for lane, session in enumerate(parked):
+                batch[lane] = session.request[3]  # bool -> float32 cast
+            common = np.matmul(batch, batch.transpose(0, 2, 1))
+            diagonal = np.einsum("kii->ki", common)
+            wanted_rounds = diagonal[:, :, None] - common
+        survivors: List[BroadcastSession] = []
+        for lane, session in enumerate(parked):
+            session.resume(wanted_rounds[lane])
+            if not session.finished:
+                survivors.append(session)
+        return survivors

@@ -98,6 +98,10 @@ RUN_TALLY = {
     "control_steps": 0,
     "fixed_broadcasts": 0,
     "event_broadcasts": 0,
+    # Lanes finished inside a batched lock-step run, and the number of such
+    # runs — their ratio is the average batch width the harness records.
+    "batched_broadcasts": 0,
+    "batched_runs": 0,
 }
 
 
@@ -166,6 +170,10 @@ class BroadcastResult:
         figure of merit: fixed stepping executes every grid point).
     stepping:
         Stepping policy that produced this result (``"fixed"``/``"event"``).
+    batch_width:
+        Number of lanes in the batched lock-step run that produced this
+        result (1 for the scalar path).  Purely diagnostic: lane records are
+        bit-identical to their scalar replays regardless of width.
     """
 
     fragments: FragmentMatrix
@@ -175,6 +183,7 @@ class BroadcastResult:
     distinct_edges: int
     control_steps: int = 0
     stepping: str = "event"
+    batch_width: int = 1
 
     @property
     def hosts(self) -> List[str]:
@@ -242,6 +251,13 @@ class BroadcastSession:
       the environment changed (cross traffic, churn, capacity drift) —
       landing early is always exact, since the fixed-dt oracle visits every
       grid point.
+    * ``("interest", step, time, have)`` — only when the session was built
+      with ``batch_interest=True`` and the matmul interest path is active:
+      the loop asks the driver for this step's wanted matrix instead of
+      computing it, and must be resumed with an ``(n, n)`` float32 array
+      bitwise equal to what ``recompute_wanted()`` would have produced.
+      :class:`repro.bittorrent.batched.BatchedBroadcast` answers a whole
+      batch of lanes with one stacked matmul.
 
     :meth:`run_to_completion` is the degenerate driver: one session, a fresh
     private fluid network, start time zero — byte-identical to the classic
@@ -263,8 +279,15 @@ class BroadcastSession:
         trace: Optional[List[Tuple[float, str, str, int]]] = None,
         fluid: Optional[FluidNetwork] = None,
         start_time: float = 0.0,
+        batch_interest: bool = False,
     ) -> None:
         self.broadcast = broadcast
+        #: When True the loop *yields* ``("interest", step, time, have)``
+        #: instead of computing the matmul-path interest matrix itself, so a
+        #: batched driver (:class:`repro.bittorrent.batched.BatchedBroadcast`)
+        #: can answer many lanes with one stacked matmul.  Scalar drivers
+        #: (run_to_completion, the workload engine) never set this.
+        self._batch_interest = batch_interest
         self.fluid = (
             fluid
             if fluid is not None
@@ -327,11 +350,15 @@ class BroadcastSession:
         self._started = True
         return self._resume(None)
 
-    def resume(self, value: Optional[int] = None) -> Optional[Tuple]:
-        """Fulfil the pending request and run the loop to its next one."""
+    def resume(self, value=None) -> Optional[Tuple]:
+        """Fulfil the pending request and run the loop to its next one.
+
+        ``value`` is the granted step for ``"sleep"`` requests, the wanted
+        matrix for ``"interest"`` requests, and ``None`` for ``"advance"``.
+        """
         return self._resume(value)
 
-    def _resume(self, value: Optional[int]) -> Optional[Tuple]:
+    def _resume(self, value) -> Optional[Tuple]:
         try:
             self._request = self._gen.send(value)
         except StopIteration as stop:
@@ -505,6 +532,10 @@ class BitTorrentBroadcast:
         # receipt batch, which is O(hosts) per received fragment.
         lack = ~have
         interest_by_matmul = n * n * num_fragments <= MATMUL_INTEREST_LIMIT
+        # Batched lanes on the incremental-interest path need no driver help
+        # (the int64 updates are exact per lane), so the flag only matters
+        # when the matmul path is active.
+        batch_interest = session._batch_interest and interest_by_matmul
         wanted = np.zeros((n, n), dtype=np.int64)
         wanted[root_index, :] = num_fragments
         wanted[root_index, root_index] = 0
@@ -894,7 +925,16 @@ class BitTorrentBroadcast:
                 pipes_dirty = True
                 step_active = True
             if interest_by_matmul:
-                wanted = recompute_wanted()
+                if batch_interest:
+                    # Park at the interest point: the batched lock-step
+                    # driver gathers every lane due at this step and answers
+                    # each with one slice of a stacked (lanes, n, n) matmul.
+                    # All values are exact integers < 2**24, so any summation
+                    # order yields bit-identical float32 results and the
+                    # slice equals recompute_wanted() exactly.
+                    wanted = yield ("interest", step, time, have)
+                else:
+                    wanted = recompute_wanted()
 
             # --- choking -------------------------------------------------- #
             if time >= next_rechoke - 1e-12:

@@ -21,7 +21,6 @@ from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.clustering.modularity import modularity
 from repro.clustering.partition import Partition
 from repro.graph.wgraph import WeightedGraph
 
@@ -162,15 +161,93 @@ class _LouvainState:
         return Partition(groups.values())
 
 
+class _ModularityArrays:
+    """Original-graph edge arrays for the per-level modularity evaluations.
+
+    :func:`louvain` scores every dendrogram level against the *original*
+    graph.  The dict implementation (:func:`repro.clustering.modularity
+    .modularity`) walks every edge and node per level; this helper flattens
+    the graph once and evaluates each level with two ``np.bincount`` calls.
+    The result is bit-identical to the dict walk: per-cluster intra-weight
+    and degree accumulate in the same left-fold order (``bincount`` adds
+    sequentially over its input, which is ``edges()``/``nodes()`` order),
+    and the final per-cluster sum runs over the same ``set`` of python-int
+    cluster ids with the same scalar arithmetic.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.nodes = graph.nodes()
+        self.edge_u, self.edge_v, self.edge_w = graph.edge_arrays()
+        self.node_degree = np.array(
+            [graph.degree_weight(node) for node in self.nodes], dtype=np.float64
+        )
+        self.total = graph.total_weight()
+        self.two_m = 2.0 * self.total
+
+    def value(self, partition: Partition) -> float:
+        memb_list = [partition.cluster_index(node) for node in self.nodes]
+        memb = np.array(memb_list, dtype=np.int64)
+        size = int(memb.max()) + 1
+        cluster_u = memb[self.edge_u]
+        cluster_v = memb[self.edge_v]
+        intra_mask = cluster_u == cluster_v
+        intra = np.bincount(
+            cluster_u[intra_mask], weights=self.edge_w[intra_mask], minlength=size
+        ).tolist()
+        degree = np.bincount(
+            memb, weights=self.node_degree, minlength=size
+        ).tolist()
+        q = 0.0
+        for c in set(memb_list):
+            q += intra[c] / self.total - (degree[c] / self.two_m) ** 2
+        return q
+
+
 def _aggregate(graph: WeightedGraph, partition: Partition) -> WeightedGraph:
-    """Collapse each cluster to a super-node; intra-cluster weight becomes a self-loop."""
+    """Collapse each cluster to a super-node; intra-cluster weight becomes a self-loop.
+
+    Vectorized over the flat edge arrays, replacing the per-edge
+    ``add_edge(..., accumulate=True)`` walk, but constructing a graph
+    bit-identical to it — and therefore preserving every downstream move
+    decision, because the dict-era graph's observable state is reproduced
+    exactly: per-pair weights are the same left-fold of the original edge
+    stream (``bincount`` over the pair's occurrences in order), super-edges
+    are inserted in first-occurrence order (which fixes the adjacency
+    iteration order the move loop depends on), and the cached total weight
+    is re-folded in the original stream order below.
+    """
     aggregated = WeightedGraph()
     for idx in range(partition.num_clusters):
         aggregated.add_node(idx)
-    for u, v, w in graph.edges():
-        cu = partition.cluster_index(u)
-        cv = partition.cluster_index(v)
-        aggregated.add_edge(cu, cv, w, accumulate=True)
+    edge_u, edge_v, edge_w = graph.edge_arrays()
+    if not edge_u.size:
+        return aggregated
+    memb = np.array(
+        [partition.cluster_index(node) for node in graph.nodes()], dtype=np.int64
+    )
+    cluster_u = memb[edge_u]
+    cluster_v = memb[edge_v]
+    lo = np.minimum(cluster_u, cluster_v)
+    hi = np.maximum(cluster_u, cluster_v)
+    num = partition.num_clusters
+    keys = lo * num + hi
+    unique, first_index, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    sums = np.bincount(inverse, weights=edge_w).tolist()
+    unique = unique.tolist()
+    for k in np.argsort(first_index).tolist():
+        key = unique[k]
+        aggregated.add_edge(key // num, key % num, sums[k])
+    # The dict-era cached total weight is a left-fold of every original edge
+    # in stream order; the add_edge calls above folded the per-pair sums
+    # instead, which can differ by ulps.  Re-fold it exactly so the
+    # ``> best + 1e-12`` move comparisons on deeper levels see identical
+    # normalisation.
+    total = 0.0
+    for w in edge_w.tolist():
+        total += w
+    aggregated._total_weight = total
     return aggregated
 
 
@@ -210,7 +287,10 @@ def louvain(
     working = graph.copy()
     dendrogram: List[Partition] = []
     best_partition = Partition.singletons(original_nodes)
-    best_q = modularity(graph, best_partition)
+    # Per-level scoring against the original graph, flattened once
+    # (bit-identical to repro.clustering.modularity.modularity).
+    scorer = _ModularityArrays(graph)
+    best_q = scorer.value(best_partition)
 
     for _level in range(max_levels):
         state = _LouvainState(working)
@@ -235,7 +315,7 @@ def louvain(
             node: super_cluster[node_to_super[node]] for node in original_nodes
         }
         level_partition = Partition.from_membership(membership)
-        level_q = modularity(graph, level_partition)
+        level_q = scorer.value(level_partition)
         dendrogram.append(level_partition)
 
         if level_q > best_q + min_gain:

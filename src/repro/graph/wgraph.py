@@ -177,6 +177,33 @@ class WeightedGraph:
                 if node_id[v] >= iu:
                     yield (u, v, w)
 
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edges as ``(u_ids, v_ids, weights)`` arrays in :meth:`edges` order.
+
+        Node ids are the insertion ids, which coincide with positions in
+        :meth:`nodes` (nodes are never removed), so ``u_ids``/``v_ids``
+        index directly into per-node arrays built over :meth:`nodes`.  This
+        is the flat form the vectorized Louvain aggregation and per-level
+        modularity paths consume; ``u_ids <= v_ids`` row-wise, exactly as
+        :meth:`edges` yields.
+        """
+        count = self._num_edges
+        u_ids = np.empty(count, dtype=np.int64)
+        v_ids = np.empty(count, dtype=np.int64)
+        weights = np.empty(count, dtype=np.float64)
+        node_id = self._node_id
+        k = 0
+        for u, nbrs in self._adj.items():
+            iu = node_id[u]
+            for v, w in nbrs.items():
+                iv = node_id[v]
+                if iv >= iu:
+                    u_ids[k] = iu
+                    v_ids[k] = iv
+                    weights[k] = w
+                    k += 1
+        return u_ids, v_ids, weights
+
     def number_of_edges(self) -> int:
         return self._num_edges
 

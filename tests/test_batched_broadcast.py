@@ -1,0 +1,193 @@
+"""Batched lock-step engine vs the scalar oracle.
+
+The contract of :class:`repro.bittorrent.batched.BatchedBroadcast` is that a
+batched campaign is *indistinguishable* from running its lanes one at a
+time: every lane's record (counts, times, control steps) must be bitwise the
+scalar replay's, at any width, in both stepping modes, on either interest
+maintenance path.  The suite cross-checks random scenarios at widths 1–8
+against the scalar oracle, and guards the executor's fallback rule: any
+workload or fault plan routes through the scalar path (``batch_width`` 1)
+rather than silently diverging.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bittorrent.batched as batched_module
+import repro.bittorrent.swarm as swarm_module
+from repro.bittorrent.batched import BatchedBroadcast
+from repro.bittorrent.swarm import (
+    RUN_TALLY,
+    STEPPING_MODES,
+    BitTorrentBroadcast,
+    SwarmConfig,
+)
+from repro.bittorrent.torrent import TorrentMeta
+from repro.network.grid5000 import build_bordeaux_site, build_multi_site, default_cluster_of
+from repro.scenarios.executors import BatchedExecutor
+from repro.tomography.measurement import MeasurementCampaign
+
+
+def make_config(num_fragments, stepping="event", **overrides):
+    meta = TorrentMeta(
+        name="batched-test", fragment_size=16384, num_fragments=num_fragments
+    )
+    return SwarmConfig(torrent=meta, stepping=stepping, **overrides)
+
+
+def assert_result_identical(lane, scalar):
+    """A batched lane must replay its scalar oracle bit for bit."""
+    assert lane.root == scalar.root
+    assert lane.duration == scalar.duration
+    assert lane.distinct_edges == scalar.distinct_edges
+    assert lane.control_steps == scalar.control_steps
+    assert lane.stepping == scalar.stepping
+    assert lane.fragments.labels == scalar.fragments.labels
+    assert np.array_equal(lane.fragments.counts, scalar.fragments.counts)
+    assert lane.completion_times == scalar.completion_times
+
+
+def random_scenario(case):
+    """Deterministic pseudo-random scenario for one property case."""
+    rng = np.random.default_rng(20120 + case)
+    if rng.integers(2):
+        topology = build_bordeaux_site(3, 3, 2)
+    else:
+        topology = build_multi_site(
+            {site: {default_cluster_of(site): 3} for site in ("bordeaux", "grenoble")}
+        )
+    num_fragments = int(rng.integers(30, 81))
+    overrides = {}
+    if rng.integers(2):
+        overrides["rechoke_interval"] = 0.5
+    seeds = rng.integers(0, 2**31, size=8).tolist()
+    return topology, num_fragments, overrides, seeds
+
+
+class TestLaneOracle:
+    @pytest.mark.parametrize("stepping", STEPPING_MODES)
+    @pytest.mark.parametrize("case,width", [(0, 1), (1, 2), (2, 5), (3, 8)])
+    def test_every_lane_matches_its_scalar_replay(self, stepping, case, width):
+        topology, num_fragments, overrides, seeds = random_scenario(case)
+        config = make_config(num_fragments, stepping, **overrides)
+        engine = BatchedBroadcast(topology, config)
+        lanes = [
+            (None, np.random.default_rng(seed)) for seed in seeds[:width]
+        ]
+        results = engine.run_many(lanes)
+        assert [r.batch_width for r in results] == [width] * width
+        scalar = BitTorrentBroadcast(topology, config)
+        for seed, lane in zip(seeds, results):
+            assert_result_identical(
+                lane, scalar.run(rng=np.random.default_rng(seed))
+            )
+
+    def test_mixed_roots_stay_per_lane(self):
+        topology = build_bordeaux_site(3, 3, 2)
+        config = make_config(48)
+        hosts = BitTorrentBroadcast(topology, config).hosts
+        engine = BatchedBroadcast(topology, config)
+        lanes = [
+            (hosts[i % len(hosts)], np.random.default_rng(100 + i))
+            for i in range(4)
+        ]
+        results = engine.run_many(lanes)
+        scalar = BitTorrentBroadcast(topology, config)
+        for i, lane in enumerate(results):
+            assert lane.root == hosts[i % len(hosts)]
+            assert_result_identical(
+                lane,
+                scalar.run(
+                    root=hosts[i % len(hosts)], rng=np.random.default_rng(100 + i)
+                ),
+            )
+
+    def test_incremental_interest_lanes_match_scalar(self, monkeypatch):
+        """Above the matmul crossover, lanes use the per-lane incremental
+        path and the driver never sees an interest request — still exact."""
+        monkeypatch.setattr(swarm_module, "MATMUL_INTEREST_LIMIT", 0)
+        monkeypatch.setattr(batched_module, "MATMUL_INTEREST_LIMIT", 0)
+        topology = build_bordeaux_site(3, 3, 2)
+        config = make_config(40)
+        results = BatchedBroadcast(topology, config).run_many(
+            [(None, np.random.default_rng(seed)) for seed in (7, 8, 9)]
+        )
+        scalar = BitTorrentBroadcast(topology, config)
+        for seed, lane in zip((7, 8, 9), results):
+            assert_result_identical(
+                lane, scalar.run(rng=np.random.default_rng(seed))
+            )
+
+    def test_empty_lane_list(self):
+        engine = BatchedBroadcast(build_bordeaux_site(3, 2, 1), make_config(30))
+        assert engine.run_many([]) == []
+
+    def test_tally_records_width(self):
+        engine = BatchedBroadcast(build_bordeaux_site(3, 2, 1), make_config(30))
+        before_runs = RUN_TALLY["batched_runs"]
+        before_lanes = RUN_TALLY["batched_broadcasts"]
+        engine.run_many([(None, np.random.default_rng(s)) for s in (1, 2, 3)])
+        assert RUN_TALLY["batched_runs"] == before_runs + 1
+        assert RUN_TALLY["batched_broadcasts"] == before_lanes + 3
+
+
+class TestBatchedExecutor:
+    def test_chunking_defaults_to_one_batch(self):
+        specs = [(("broadcast", i), None) for i in range(5)]
+        assert BatchedExecutor().chunk_specs(specs) == [tuple(specs)]
+
+    def test_max_width_splits_contiguously(self):
+        specs = [(("broadcast", i), None) for i in range(5)]
+        chunks = BatchedExecutor(max_width=2).chunk_specs(specs)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        assert [s for chunk in chunks for s in chunk] == specs
+
+    def test_invalid_max_width(self):
+        with pytest.raises(ValueError):
+            BatchedExecutor(max_width=0)
+
+    def test_campaign_records_batch_width(self, two_site_topology, tiny_swarm_config):
+        record = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42,
+            executor=BatchedExecutor(),
+        ).run(4)
+        assert [r.batch_width for r in record.results] == [4] * 4
+
+    def test_workload_plan_falls_back_to_scalar(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        """A non-empty workload plan cannot hold lock-step: the executor
+        must run the scalar oracle (batch_width 1), not silently diverge."""
+        serial = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42, workload="churn"
+        ).run(3)
+        batched = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42, workload="churn",
+            executor=BatchedExecutor(),
+        ).run(3)
+        assert [r.batch_width for r in batched.results] == [1, 1, 1]
+        for lane, scalar in zip(batched.results, serial.results):
+            assert_result_identical(lane, scalar)
+        assert batched.workload_stats == serial.workload_stats
+        assert any(
+            row["kind"] == "churn"
+            for iteration in batched.workload_stats
+            for row in iteration
+        )
+
+    def test_fault_plan_falls_back_to_scalar(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        serial = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42,
+            workload="rival", faults="chaos",
+        ).run(3)
+        batched = MeasurementCampaign(
+            two_site_topology, tiny_swarm_config, seed=42,
+            workload="rival", faults="chaos",
+            executor=BatchedExecutor(),
+        ).run(3)
+        assert [r.batch_width for r in batched.results] == [1, 1, 1]
+        for lane, scalar in zip(batched.results, serial.results):
+            assert_result_identical(lane, scalar)
+        assert batched.workload_stats == serial.workload_stats

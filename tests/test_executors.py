@@ -10,6 +10,7 @@ import pytest
 
 from repro.experiments.runners import run_broadcast_efficiency
 from repro.scenarios.executors import (
+    BatchedExecutor,
     BroadcastTask,
     CampaignExecutionError,
     ProcessPoolExecutor,
@@ -93,6 +94,8 @@ class TestResolution:
         assert executor_from_name(None).name == "serial"
         assert executor_from_name("serial").name == "serial"
         assert executor_from_name("process", workers=3).workers == 3
+        assert executor_from_name("batched").name == "batched"
+        assert executor_from_name("batched", chunk_size=2).max_width == 2
         with pytest.raises(ValueError):
             executor_from_name("gpu")
 
@@ -110,6 +113,11 @@ class TestResolution:
         executor = default_executor()
         assert executor.name == "process"
         assert executor.workers == 3
+
+    def test_default_executor_batched(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "batched")
+        monkeypatch.delenv("REPRO_EXECUTOR_WORKERS", raising=False)
+        assert default_executor().name == "batched"
 
 
 class TestExecuteTask:
@@ -166,6 +174,41 @@ class TestBackendEquality:
         ).run(5)
         assert {r.root for r in pooled.results} != {pooled.hosts[0]}
         assert_records_identical(inline, pooled)
+
+    def test_batched_matches_inline_loop(self, two_site_topology, tiny_swarm_config):
+        inline = self._campaign(two_site_topology, tiny_swarm_config, None).run(4)
+        batched = self._campaign(
+            two_site_topology, tiny_swarm_config, BatchedExecutor()
+        ).run(4)
+        assert_records_identical(inline, batched)
+        assert all(r.batch_width == 4 for r in batched.results)
+
+    def test_batched_matches_serial_with_rotating_root(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        inline = self._campaign(
+            two_site_topology, tiny_swarm_config, None, rotate_root=True
+        ).run(5)
+        batched = self._campaign(
+            two_site_topology,
+            tiny_swarm_config,
+            BatchedExecutor(),
+            rotate_root=True,
+        ).run(5)
+        assert {r.root for r in batched.results} != {batched.hosts[0]}
+        assert_records_identical(inline, batched)
+
+    def test_batched_width_does_not_change_results(
+        self, dumbbell_topology, tiny_swarm_config
+    ):
+        full = self._campaign(
+            dumbbell_topology, tiny_swarm_config, BatchedExecutor()
+        ).run(4)
+        capped = self._campaign(
+            dumbbell_topology, tiny_swarm_config, BatchedExecutor(max_width=2)
+        ).run(4)
+        assert_records_identical(full, capped)
+        assert [r.batch_width for r in capped.results] == [2, 2, 2, 2]
 
     def test_rerunning_same_campaign_is_idempotent(
         self, two_site_topology, tiny_swarm_config
