@@ -18,7 +18,12 @@ variable (``benchmarks/run_benchmarks.py --profile`` sets it):
 
 Every benchmark row records the swarm stepping mode and the control steps
 executed per broadcast (``benchmark.extra_info``): the harness snapshots the
-process-wide :data:`repro.bittorrent.swarm.RUN_TALLY` around each run.
+process-wide :data:`repro.observability.metrics.METRICS` registry around
+each run and embeds the full counter delta as ``extra_info["metrics"]``.
+
+``REPRO_TRACE`` routes a structured trace of the whole suite to a JSONL
+file (``run_benchmarks.py --trace`` sets it); the tracer is configured once
+per benchmark process at session start.
 """
 
 from __future__ import annotations
@@ -53,6 +58,16 @@ ITERATIONS = PROFILES[PROFILE]["ITERATIONS"]
 SEED = 2012
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _configure_tracing_from_env():
+    """Honour ``REPRO_TRACE`` for benchmark runs (no-op when unset)."""
+    from repro.observability.tracer import TRACER, trace_from_env
+
+    trace_from_env()
+    yield
+    TRACER.flush()
+
+
 def report(title: str, rows: Mapping[str, object]) -> None:
     """Print a paper-vs-measured block that survives pytest's output capture."""
     width = max(len(k) for k in rows) + 2
@@ -70,20 +85,22 @@ def bench_once(benchmark):
     work performed during the call in ``benchmark.extra_info``, from which
     ``run_benchmarks.py`` copies them into every BENCH row.
     """
-    from repro.bittorrent.swarm import RUN_TALLY, default_stepping
+    from repro.bittorrent.swarm import default_stepping
+    from repro.observability.metrics import METRICS
 
     def _run(fn, *args, **kwargs):
-        before = dict(RUN_TALLY)
+        before = METRICS.snapshot()
         outcome = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
-        broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
-        steps = RUN_TALLY["control_steps"] - before["control_steps"]
+        delta = METRICS.snapshot().delta_since(before)
+        broadcasts = delta.counter("swarm.broadcasts")
+        steps = delta.counter("swarm.control_steps")
         # Label the row with the mode(s) the measured call actually ran —
         # some benchmarks pin their own stepping regardless of the suite
         # default (e.g. the event-stepping comparison).
         ran = {
             mode
             for mode in ("fixed", "event")
-            if RUN_TALLY[f"{mode}_broadcasts"] > before[f"{mode}_broadcasts"]
+            if delta.counter(f"swarm.broadcasts.{mode}")
         }
         if len(ran) == 1:
             benchmark.extra_info["stepping"] = ran.pop()
@@ -91,23 +108,26 @@ def bench_once(benchmark):
             benchmark.extra_info["stepping"] = "mixed"
         else:
             benchmark.extra_info["stepping"] = default_stepping()
-        # RUN_TALLY is per-process: under the process-pool executor the
-        # swarm work happens in workers, so a zero delta means "not
-        # observed", not "zero steps" — omit the keys rather than record
+        # The registry is per-process, but the process-pool executor merges
+        # worker snapshot deltas back into this one, so the keys below are
+        # meaningful on every backend.  A zero broadcast count still means
+        # "not observed" (e.g. a crashed round) — omit rather than record
         # fabricated zeros.
         if broadcasts:
-            benchmark.extra_info["broadcasts"] = broadcasts
-            benchmark.extra_info["control_steps"] = steps
+            benchmark.extra_info["broadcasts"] = int(broadcasts)
+            benchmark.extra_info["control_steps"] = int(steps)
             benchmark.extra_info["control_steps_per_broadcast"] = round(
                 steps / broadcasts, 1
             )
             # Average lanes per batched lock-step run (1 for scalar rows),
             # so the BENCH record distinguishes batched from serial rows.
-            lanes = RUN_TALLY["batched_broadcasts"] - before["batched_broadcasts"]
-            batched_runs = RUN_TALLY["batched_runs"] - before["batched_runs"]
+            lanes = delta.counter("batched.lanes")
+            batched_runs = delta.counter("batched.runs")
             benchmark.extra_info["batch_width"] = (
                 round(lanes / batched_runs, 1) if batched_runs else 1
             )
+        # Full registry delta, for BENCH rows and post-hoc attribution.
+        benchmark.extra_info["metrics"] = delta.jsonable()
         return outcome
 
     return _run

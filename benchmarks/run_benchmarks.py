@@ -66,6 +66,7 @@ def run_suite(
     workers: int | None,
     profile: str,
     stepping: str,
+    trace: str | None = None,
 ) -> int:
     command = [
         sys.executable,
@@ -90,6 +91,13 @@ def run_suite(
     env["REPRO_BENCH_PROFILE"] = profile
     if workers:
         env["REPRO_EXECUTOR_WORKERS"] = str(workers)
+    if trace:
+        # The benchmark process configures the tracer from the environment
+        # at session start (benchmarks/conftest.py) and, under the process
+        # executor, workers suffix their own files — see docs/observability.md.
+        env["REPRO_TRACE"] = trace
+    else:
+        env.pop("REPRO_TRACE", None)
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
@@ -143,6 +151,7 @@ def normalize(raw_json: Path, executor: str, profile: str, stepping: str) -> dic
             "workload",
             "workload_actors",
             "interference_intensity",
+            "metrics",
         ):
             if key in extra:
                 row[key] = extra[key]
@@ -157,23 +166,26 @@ def run_scenarios(
     """Time resolved scenario specs directly through the registry."""
     import time
 
-    from repro.bittorrent.swarm import RUN_TALLY
+    from repro.observability.metrics import METRICS
+    from repro.observability.tracer import trace_from_env
     from repro.scenarios import executor_from_name
 
+    trace_from_env()
     executor = (
         None if executor_name == "serial"
         else executor_from_name(executor_name, workers=workers)
     )
     rows = []
     for name, spec in specs:
-        before = dict(RUN_TALLY)
+        before = METRICS.snapshot()
         start = time.perf_counter()
         summary = spec.run(executor=executor, stepping=stepping)
         elapsed = time.perf_counter() - start
-        broadcasts = RUN_TALLY["broadcasts"] - before["broadcasts"]
-        steps = RUN_TALLY["control_steps"] - before["control_steps"]
-        lanes = RUN_TALLY["batched_broadcasts"] - before["batched_broadcasts"]
-        batched_runs = RUN_TALLY["batched_runs"] - before["batched_runs"]
+        delta = METRICS.snapshot().delta_since(before)
+        broadcasts = int(delta.counter("swarm.broadcasts"))
+        steps = int(delta.counter("swarm.control_steps"))
+        lanes = delta.counter("batched.lanes")
+        batched_runs = delta.counter("batched.runs")
         print(f"  scenario:{name:<30s} {elapsed:8.3f}s  "
               f"({executor_name}, {stepping})")
         row = {
@@ -193,6 +205,9 @@ def run_scenarios(
             "batch_width": (
                 round(lanes / batched_runs, 1) if batched_runs else 1
             ),
+            # Full registry delta for the scenario run (back-compat keys
+            # above are derived from the same counters).
+            "metrics": delta.jsonable(),
         }
         # Interference scenarios describe the contention they measured under.
         for key in ("workload", "workload_actors", "interference_intensity"):
@@ -271,6 +286,10 @@ def main() -> int:
                         default="event",
                         help="swarm control-loop policy for the whole run "
                              "(results are bit-identical across modes)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a structured telemetry trace (JSONL) of "
+                             "the whole suite to PATH via REPRO_TRACE; "
+                             "export with `repro trace export --chrome`")
     args = parser.parse_args()
 
     sys.path.insert(0, str(REPO_ROOT))
@@ -294,6 +313,10 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         os.environ["REPRO_STEPPING"] = args.stepping
+        if args.trace:
+            from repro.observability.tracer import configure_tracing
+
+            configure_tracing(args.trace)
         normalized = run_scenarios(
             specs, args.executor, args.workers, args.profile, args.stepping
         )
@@ -301,7 +324,7 @@ def main() -> int:
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
             raw_json = Path(handle.name)
         status = run_suite(args.select, raw_json, args.executor, args.workers,
-                           args.profile, args.stepping)
+                           args.profile, args.stepping, trace=args.trace)
         if status != 0:
             print(f"benchmark run failed with exit status {status}", file=sys.stderr)
             return status

@@ -41,7 +41,6 @@ import numpy as np
 
 from repro.bittorrent.swarm import (
     MATMUL_INTEREST_LIMIT,
-    RUN_TALLY,
     BitTorrentBroadcast,
     BroadcastResult,
     BroadcastSession,
@@ -49,6 +48,8 @@ from repro.bittorrent.swarm import (
 )
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.simulation.rng import RandomStreams
 
 #: One lane spec: (root or None, per-lane random generator or None).
@@ -116,10 +117,13 @@ class BatchedBroadcast:
             BroadcastSession(self.broadcast, root=root, rng=rng, batch_interest=True)
             for root, rng in lanes
         ]
+        run_started = TRACER.now() if TRACER.enabled else 0.0
         self._drive_lock_step(sessions)
         width = len(sessions)
-        RUN_TALLY["batched_runs"] += 1
-        RUN_TALLY["batched_broadcasts"] += width
+        METRICS.count("batched.runs")
+        METRICS.count("batched.lanes", width)
+        if TRACER.enabled:
+            TRACER.span_record("batched.run", run_started, lanes=width)
         results: List[BroadcastResult] = []
         for session in sessions:
             result = session.result

@@ -65,6 +65,8 @@ from repro.network.fluid import FluidNetwork, FluidTransfer
 from repro.network.grid5000 import DEFAULT_TCP_WINDOW, flow_rate_cap
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.simulation.engine import Event, EventQueue
 
 #: Recognised control-loop stepping policies (see module docstring).
@@ -87,22 +89,6 @@ def default_stepping() -> str:
             f"{STEPPING_ENV} must be one of {STEPPING_MODES}, got {value!r}"
         )
     return value
-
-
-#: Process-wide tallies of broadcasts run and control points executed, in
-#: this process.  The benchmark harness snapshots deltas around each
-#: benchmark to record control-steps-per-broadcast in every BENCH row
-#: (serial executor only: worker processes keep their own tallies).
-RUN_TALLY = {
-    "broadcasts": 0,
-    "control_steps": 0,
-    "fixed_broadcasts": 0,
-    "event_broadcasts": 0,
-    # Lanes finished inside a batched lock-step run, and the number of such
-    # runs — their ratio is the average batch width the harness records.
-    "batched_broadcasts": 0,
-    "batched_runs": 0,
-}
 
 
 #: Below this ``hosts² × fragments`` product the interest matrix is simply
@@ -826,6 +812,12 @@ class BitTorrentBroadcast:
         agenda = _ControlAgenda() if event_mode else None
         step = 0
         control_steps = 0
+        # Telemetry flags are hoisted once per broadcast: with tracing off the
+        # whole loop pays two local-bool reads, nothing else.  Records only
+        # *read* state — no random draws, no clock movement — so seed goldens
+        # replay bit-for-bit with tracing on (tests/test_seed_replay.py).
+        trace_full = TRACER.full
+        broadcast_started = TRACER.now() if TRACER.enabled else 0.0
 
         # ---- event-mode jump predicates (exact, grid-aligned) ------------ #
         # The predicates below answer "at which future control step does the
@@ -1035,6 +1027,9 @@ class BitTorrentBroadcast:
                     ready_progress = progress_now[ready].tolist()
                     ready_moved = moved[ready].tolist()
 
+            if trace_full and ready_list:
+                conversion_started = TRACER.now()
+                pass_receipts = 0
             for event, position in enumerate(ready_list):
                 uploader, downloader = pipe_order[position]
                 uploader_index = ready_up[event]
@@ -1105,6 +1100,8 @@ class BitTorrentBroadcast:
                 pipe_consumed[position] = ready_moved[event]
                 pipe_progress[position] = surplus
                 if received:
+                    if trace_full:
+                        pass_receipts += len(received)
                     if trace is not None:
                         for fragment in received:
                             trace.append((time, downloader, uploader, fragment))
@@ -1119,6 +1116,17 @@ class BitTorrentBroadcast:
                         wanted[:, downloader_index] -= shared
                         wanted[downloader_index, :] += len(received) - shared
                         wanted[downloader_index, downloader_index] = 0
+
+            if trace_full and ready_list:
+                # Per-receipt conversion cost: wall seconds of the pass over
+                # the number of fragments it converted (sim-time stamped).
+                TRACER.event(
+                    "swarm.conversion",
+                    sim_time=time,
+                    pipes=len(ready_list),
+                    receipts=pass_receipts,
+                    wall_s=TRACER.now() - conversion_started,
+                )
 
             # --- next control point ---------------------------------------- #
             if not event_mode or step_active:
@@ -1152,6 +1160,15 @@ class BitTorrentBroadcast:
             granted = yield ("sleep", step, target, start + target * dt)
             if granted is not None:
                 target = max(min(granted, target), step + 1)
+            if trace_full and target > step + 1:
+                # Control steps jumped rather than visited: the span
+                # (step, target) is provably inert under the current rates.
+                TRACER.event(
+                    "swarm.jump",
+                    sim_time=start + target * dt,
+                    from_step=step,
+                    to_step=target,
+                )
             step = target
             # Bring the fluid clock to the landing point before its control
             # logic runs: the skipped span is transition-free (the jump is
@@ -1161,9 +1178,23 @@ class BitTorrentBroadcast:
             # loop (whose clock always sits at the current grid point) does.
             fluid.advance_to(start + step * dt)
 
-        RUN_TALLY["broadcasts"] += 1
-        RUN_TALLY["control_steps"] += control_steps
-        RUN_TALLY[f"{cfg.stepping}_broadcasts"] += 1
+        receipts = int(fragments.counts.sum())
+        METRICS.count("swarm.broadcasts")
+        METRICS.count("swarm.control_steps", control_steps)
+        METRICS.count(f"swarm.broadcasts.{cfg.stepping}")
+        METRICS.count("swarm.receipts", receipts)
+        if TRACER.enabled:
+            TRACER.span_record(
+                "swarm.broadcast",
+                broadcast_started,
+                root=root,
+                stepping=cfg.stepping,
+                control_steps=control_steps,
+                steps_jumped=max(0, step - control_steps),
+                receipts=receipts,
+                sim_start=start,
+                sim_end=start + step * dt,
+            )
         completion_times = {
             name: (peer.completion_time if peer.completion_time is not None else time)
             for name, peer in peers.items()

@@ -14,6 +14,13 @@ registered scenario, reachable through three generic subcommands:
 * ``python -m repro sweep HETERO-UPLINK --param squeeze --values 1.0,0.5,0.2``
   — run a scenario across a parameter grid and tabulate the outcomes.
 
+Telemetry (docs/observability.md) surfaces through three more entries:
+``run``/``sweep`` accept ``--trace PATH`` (structured JSONL tracing of the
+whole run, ``--trace-detail full`` for per-step records), ``python -m repro
+trace export|summary`` consumes such files (``export --chrome`` emits a
+Chrome/Perfetto-loadable trace), and ``python -m repro metrics`` prints the
+metric catalogue every run records into.
+
 Every subcommand accepts ``--json <path>`` to write a machine-readable
 record of what it printed.  Commands exit 0 on success, 2 on unknown
 scenarios/parameters, so they compose with shell scripts.
@@ -36,6 +43,13 @@ from repro.scenarios import (
     jsonable_summary,
 )
 from repro.faults import FAULT_NAMES
+from repro.observability import (
+    METRIC_CATALOGUE,
+    METRICS,
+    TRACE_DETAILS,
+    TraceConfigError,
+    configure_tracing,
+)
 from repro.scenarios.spec import CAMPAIGN_PARAMS
 from repro.workloads import WORKLOAD_NAMES
 
@@ -93,6 +107,22 @@ def _write_json(path: Optional[str], payload: Dict[str, object]) -> None:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(f"wrote {path}")
+
+
+def _setup_tracing(args: argparse.Namespace) -> Optional[int]:
+    """Configure ``--trace`` before a run; ``2`` on a bad destination.
+
+    Failing here — before the first iteration — is the fail-fast contract:
+    an unwritable path must not surface hours into a campaign.
+    """
+    if not getattr(args, "trace", None):
+        return None
+    try:
+        configure_tracing(args.trace, detail=args.trace_detail)
+    except TraceConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return None
 
 
 def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
@@ -161,6 +191,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    status = _setup_tracing(args)
+    if status is not None:
+        return status
+    before = METRICS.snapshot()
     summary = spec.run(
         executor=_make_executor(args),
         stepping=args.stepping,
@@ -170,8 +204,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         **_campaign_kwargs(args),
         **overrides,
     )
+    metrics = METRICS.snapshot().delta_since(before)
     print(spec.format(summary))
-    _write_json(args.json, {"command": "run", **jsonable_summary(summary)})
+    _write_json(
+        args.json,
+        {
+            "command": "run",
+            **jsonable_summary(summary),
+            "metrics": metrics.jsonable(),
+        },
+    )
     return 0
 
 
@@ -204,6 +246,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    status = _setup_tracing(args)
+    if status is not None:
+        return status
     executor = _make_executor(args)
     rows: List[Dict[str, object]] = []
     print(f"sweep {spec.name} over {param} = {list(values)}")
@@ -214,10 +259,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             kwargs[param] = value
         else:
             overrides[param] = value
+        before = METRICS.snapshot()
         summary = spec.run(executor=executor, stepping=args.stepping,
                            workload=args.workload, faults=args.faults,
                            quorum=args.quorum, **kwargs, **overrides)
         row = jsonable_summary(summary)
+        row["metrics"] = METRICS.snapshot().delta_since(before).jsonable()
         row[param] = value if not isinstance(value, tuple) else list(value)
         rows.append(row)
         cells = [f"{param}={value}"]
@@ -235,6 +282,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "rows": rows,
         },
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import export_chrome, load_records, summarize, trace_meta
+
+    try:
+        if args.action == "export":
+            if not args.chrome:
+                print("trace export currently requires --chrome", file=sys.stderr)
+                return 2
+            out = args.output or (args.trace_file + ".chrome.json")
+            count = export_chrome(args.trace_file, out)
+            print(f"wrote {out} ({count} trace events); load it in "
+                  f"chrome://tracing or https://ui.perfetto.dev")
+            return 0
+        # summary
+        records = load_records(args.trace_file)
+        meta = trace_meta(records)
+        summary = summarize(records)
+        if meta is not None:
+            print(f"trace {args.trace_file}: schema {meta.get('schema')}, "
+                  f"detail {meta.get('detail')}, pid {meta.get('pid')}")
+        if not summary:
+            print("no span/event records")
+        else:
+            width = max(len(name) for name in summary) + 2
+            for name in sorted(summary):
+                entry = summary[name]
+                line = (f"  {name:<{width}} {entry['type']:<6} "
+                        f"count={entry['count']}")
+                if "wall_s" in entry:
+                    line += f"  wall={entry['wall_s']:.4f}s"
+                print(line)
+        _write_json(
+            args.json,
+            {"command": "trace-summary", "file": args.trace_file,
+             "meta": meta, "summary": summary},
+        )
+        return 0
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the metric catalogue (the names every run records under)."""
+    width = max(len(name) for name in METRIC_CATALOGUE) + 2
+    listing = []
+    for name in sorted(METRIC_CATALOGUE):
+        kind, description = METRIC_CATALOGUE[name]
+        print(f"  {name:<{width}} {kind:<10} {description}")
+        listing.append({"name": name, "kind": kind, "description": description})
+    _write_json(args.json, {"command": "metrics", "catalogue": listing})
     return 0
 
 
@@ -285,6 +386,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "summary is then flagged degraded)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --executor process")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a structured telemetry trace (JSONL) of "
+                            "the run to PATH; under --executor process "
+                            "workers write per-worker sibling files "
+                            "(docs/observability.md)")
+        p.add_argument("--trace-detail", choices=TRACE_DETAILS,
+                       default="summary",
+                       help="trace verbosity: summary = per-broadcast/phase "
+                            "records, full = per-step jumps, conversion "
+                            "passes, dispatches (bigger files)")
         p.add_argument("--json", metavar="PATH", default=None,
                        help="also write a machine-readable record to PATH")
 
@@ -308,6 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated parameter values")
     add_common(sweep_parser)
 
+    trace_parser = sub.add_parser(
+        "trace", help="consume a telemetry trace written with --trace"
+    )
+    trace_parser.add_argument("action", choices=("export", "summary"),
+                              help="export = convert to another format, "
+                                   "summary = per-record-name rollup")
+    trace_parser.add_argument("trace_file", help="trace JSONL file to read")
+    trace_parser.add_argument("--chrome", action="store_true",
+                              help="export to the Chrome trace-event format "
+                                   "(chrome://tracing / Perfetto)")
+    trace_parser.add_argument("-o", "--output", default=None,
+                              help="export destination (default: "
+                                   "<trace>.chrome.json)")
+    trace_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also write the summary to PATH")
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="print the metric catalogue runs record into"
+    )
+    metrics_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="also write the catalogue to PATH")
+
     return parser
 
 
@@ -315,6 +448,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -323,7 +458,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    finally:
+        # A --trace sink must be complete on exit whatever path the command
+        # took; close() is a no-op when tracing was never enabled.
+        from repro.observability import TRACER
+
+        TRACER.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.clustering.partition import Partition
 from repro.graph.wgraph import WeightedGraph
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 
 Node = Hashable
 
@@ -292,6 +294,9 @@ def louvain(
     scorer = _ModularityArrays(graph)
     best_q = scorer.value(best_partition)
 
+    run_started = TRACER.now() if TRACER.enabled else 0.0
+    levels_run = 0
+    passes_run = 0
     for _level in range(max_levels):
         state = _LouvainState(working)
         if rng is None:
@@ -300,10 +305,14 @@ def louvain(
             order = list(working.nodes())
             rng.shuffle(order)
         improved_any = False
+        sweeps = 0
         for _sweep in range(1000):
             if not state.one_pass(order):
                 break
             improved_any = True
+            sweeps += 1
+        levels_run += 1
+        passes_run += sweeps
         local_partition = state.partition()
 
         # Express the level's partition in terms of the original nodes.
@@ -317,6 +326,14 @@ def louvain(
         level_partition = Partition.from_membership(membership)
         level_q = scorer.value(level_partition)
         dendrogram.append(level_partition)
+        if TRACER.full:
+            TRACER.event(
+                "louvain.level",
+                level=levels_run,
+                nodes=len(order),
+                sweeps=sweeps,
+                modularity=level_q,
+            )
 
         if level_q > best_q + min_gain:
             best_q = level_q
@@ -334,6 +351,17 @@ def louvain(
         if len(working) <= 1:
             break
 
+    METRICS.count("louvain.runs")
+    METRICS.count("louvain.levels", levels_run)
+    METRICS.count("louvain.passes", passes_run)
+    if TRACER.enabled:
+        TRACER.span_record(
+            "louvain.run",
+            run_started,
+            levels=levels_run,
+            passes=passes_run,
+            modularity=best_q,
+        )
     if not dendrogram:
         dendrogram.append(best_partition)
     return LouvainResult(

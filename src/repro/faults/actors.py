@@ -36,6 +36,8 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.workloads.actors import MAX_ANNOUNCE_RETRIES, WorkloadActor
 
 #: Fraction of nominal capacity a "failed" link retains.  The fluid engine
@@ -75,6 +77,24 @@ class FaultActor(WorkloadActor):
         out = super().stats()
         out["fault"] = True
         return out
+
+    def _record_fault(self, event: str, **args) -> None:
+        """Count and (when tracing) record one injected fault event.
+
+        ``event`` follows the ``{kind}`` / ``{kind}-phase`` convention
+        (``link-failure``, ``link-repair``, ``tenant-arrival``, ...); the
+        trace record is sim-time stamped at the injection instant.  Pure
+        telemetry: no random draws, no clock movement.
+        """
+        METRICS.count("faults.injected")
+        METRICS.count(f"faults.{event}")
+        if TRACER.enabled:
+            TRACER.event(
+                f"fault.{event}",
+                sim_time=self.engine.now,
+                actor=self.label,
+                **args,
+            )
 
 
 # ---------------------------------------------------------------------- #
@@ -158,6 +178,7 @@ class LinkFailureActor(FaultActor):
                 victim, self._nominal[victim] * self.residual
             )
             self.failures += 1
+            self._record_fault("link-failure", link=victim)
             if not self.persistent:
                 repair = float(self.rng.exponential(self.repair_mean))
                 self.engine.schedule(
@@ -172,6 +193,7 @@ class LinkFailureActor(FaultActor):
         self.downtime += self.engine.now - failed_at
         self.engine.fluid.set_link_capacity(name, self._nominal[name])
         self.repairs += 1
+        self._record_fault("link-repair", link=name)
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()
@@ -271,6 +293,7 @@ class RouteFlapActor(FaultActor):
             victim = stable[int(self.rng.integers(0, len(stable)))]
             self._active.add(victim)
             self.flaps += 1
+            self._record_fault("route-flap", link=victim)
             self._apply_routing()
             if self.severity < 1.0:
                 self.engine.fluid.set_link_capacity(
@@ -288,6 +311,7 @@ class RouteFlapActor(FaultActor):
         if name not in self._active:
             return
         self._active.discard(name)
+        self._record_fault("route-settle", link=name)
         self._apply_routing()
         self.engine.fluid.set_link_capacity(name, self._nominal[name])
 
@@ -348,6 +372,7 @@ class TrackerOutageActor(FaultActor):
     def _on_outage(self) -> None:
         self.engine.tracker_down = True
         self.outages += 1
+        self._record_fault("tracker-outage")
         duration = float(self.rng.exponential(self.outage_mean))
         self.outage_time += duration
         recover_at = self.engine.now + duration
@@ -357,6 +382,7 @@ class TrackerOutageActor(FaultActor):
 
     def _on_recover(self) -> None:
         self.engine.tracker_down = False
+        self._record_fault("tracker-recover")
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()
@@ -430,6 +456,7 @@ class TenantCycleActor(FaultActor):
         self.tenant = self.factory(self.engine.now)
         self.engine.add_runtime(self.tenant)
         self.arrivals += 1
+        self._record_fault("tenant-arrival", tenant=self.tenant.label)
         if self.departure is not None:
             self.engine.schedule(
                 self, max(self.departure, self.engine.now), self._on_departure
@@ -440,6 +467,7 @@ class TenantCycleActor(FaultActor):
             return
         self.tenant.stop()
         self.departures += 1
+        self._record_fault("tenant-departure", tenant=self.tenant.label)
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()

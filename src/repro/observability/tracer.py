@@ -1,0 +1,280 @@
+"""Structured tracer: typed span/event records on a JSONL sink.
+
+The tracer is the *expensive* half of the telemetry layer and is therefore
+**off by default**: every instrumentation site guards itself with the single
+attribute test ``if TRACER.enabled:`` (and high-frequency sites additionally
+with ``TRACER.full``), so a disabled tracer costs one boolean check — the
+measured whole-suite overhead is within the ≤1% budget (see
+``docs/observability.md``).
+
+Two clocks, by record type:
+
+* **spans** are stamped in *wall time*: ``wall_ts`` (seconds since the
+  tracer was configured, from ``time.perf_counter``) and ``wall_dur``.
+  Examples: one broadcast's lifetime, an executor submission round, the
+  pipeline's measure/analyze phases.
+* **events** are stamped in *simulation time* (``sim_ts`` seconds on the
+  shared simulation clock) when they describe simulated causality — fault
+  injections, workload dispatches, fluid transitions — and carry only
+  ``wall_ts`` when they describe host-side machinery (worker crashes,
+  checkpoint writes, retry rounds).
+
+Hard invariant: tracing draws **zero random values and zero simulation-clock
+movements** — record emission only *reads* state and the host clock, so every
+sha256 seed golden replays bit-for-bit with tracing on or off
+(``tests/test_seed_replay.py`` pins this for every scenario family).
+
+Routing: ``repro run --trace PATH`` (or the ``REPRO_TRACE`` environment
+variable) configures the process-wide :data:`TRACER`.  Worker processes of a
+process-pool campaign inherit the environment and suffix the path with their
+pid (``trace.jsonl`` → ``trace.w1234.jsonl``) so concurrent writers never
+collide; the owning process is recorded in ``REPRO_TRACE_OWNER`` to tell the
+two cases apart.  An unwritable path fails fast at configure time with a
+clear error instead of dying mid-campaign.
+
+Record schema (one JSON object per line, ``schema: repro-trace-v1``):
+
+* ``{"type": "meta", "schema": ..., "pid": ..., "wall_start": ...,
+  "detail": ...}`` — first line of every file;
+* ``{"type": "event", "name": ..., "pid": ..., "wall_ts": ...,
+  ["sim_ts": ...,] "args": {...}}``;
+* ``{"type": "span", "name": ..., "pid": ..., "wall_ts": ...,
+  "wall_dur": ..., "args": {...}}``.
+
+``repro trace export --chrome`` converts a trace file to the Chrome
+trace-event format (``chrome://tracing`` / https://ui.perfetto.dev), see
+:mod:`repro.observability.export`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Environment variable routing every run's trace to a JSONL path.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Environment variable selecting the detail level (``summary``/``full``).
+TRACE_DETAIL_ENV = "REPRO_TRACE_DETAIL"
+
+#: Pid of the process that configured the trace path; any *other* process
+#: seeing the variable is a pool worker and must suffix its own path.
+TRACE_OWNER_ENV = "REPRO_TRACE_OWNER"
+
+#: Recognised detail levels: ``summary`` emits per-broadcast/per-phase
+#: records only; ``full`` additionally emits per-control-step records
+#: (jumps, conversion passes, fluid transitions, workload dispatches).
+TRACE_DETAILS = ("summary", "full")
+
+#: On-disk schema version (bump on incompatible record change).
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+class TraceConfigError(ValueError):
+    """The requested trace destination cannot be used (fail fast)."""
+
+
+def worker_trace_path(path: str, pid: int) -> str:
+    """Per-worker sibling of ``path``: ``trace.jsonl`` → ``trace.w{pid}.jsonl``.
+
+    Process-pool workers write their own files so concurrent campaigns never
+    interleave (or clobber) records in one file.
+    """
+    base = Path(path)
+    return str(base.with_name(f"{base.stem}.w{pid}{base.suffix or '.jsonl'}"))
+
+
+class Tracer:
+    """Process-wide structured tracer (use the shared :data:`TRACER`).
+
+    ``enabled`` is False until :meth:`configure` succeeds; instrumentation
+    sites must guard on it so the disabled tracer costs one attribute read.
+    ``full`` gates the high-frequency record types.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.full = False
+        self.path: Optional[str] = None
+        self.detail = "summary"
+        self._file = None
+        self._pid = os.getpid()
+        self._perf_start = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def configure(self, path: str, detail: str = "summary") -> None:
+        """Open ``path`` for JSONL records and enable the tracer.
+
+        Raises :class:`TraceConfigError` immediately when the destination is
+        not writable (missing directory, permission, path is a directory), so
+        a campaign fails before its first iteration rather than mid-run.
+        Re-configuring closes the previous sink first.
+        """
+        detail = (detail or "summary").strip().lower()
+        if detail not in TRACE_DETAILS:
+            raise TraceConfigError(
+                f"trace detail must be one of {TRACE_DETAILS}, got {detail!r}"
+            )
+        if self._file is not None:
+            self.close()
+        try:
+            handle = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise TraceConfigError(
+                f"trace path {path!r} is not writable: {exc}"
+            ) from exc
+        self._file = handle
+        self._pid = os.getpid()
+        self._perf_start = time.perf_counter()
+        self.path = path
+        self.detail = detail
+        self.full = detail == "full"
+        self.enabled = True
+        self._write(
+            {
+                "type": "meta",
+                "schema": TRACE_SCHEMA,
+                "pid": self._pid,
+                "wall_start": time.time(),
+                "detail": detail,
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and close the sink; the tracer returns to the no-op state."""
+        if self._file is not None:
+            try:
+                self._file.flush()
+                self._file.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._file = None
+        self.enabled = False
+        self.full = False
+        self.path = None
+
+    def flush(self) -> None:
+        """Push buffered records to disk (workers flush after every task)."""
+        if self._file is not None:
+            self._file.flush()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def _write(self, record: dict) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def event(self, name: str, sim_time: Optional[float] = None, **args) -> None:
+        """Emit one typed event record.
+
+        ``sim_time`` stamps the record on the simulation clock; host-side
+        events omit it and are ordered by ``wall_ts`` alone.
+        """
+        if not self.enabled:
+            return
+        record = {
+            "type": "event",
+            "name": name,
+            "pid": self._pid,
+            "wall_ts": time.perf_counter() - self._perf_start,
+        }
+        if sim_time is not None:
+            record["sim_ts"] = float(sim_time)
+        if args:
+            record["args"] = args
+        self._write(record)
+
+    def span_record(self, name: str, started: float, **args) -> None:
+        """Emit a span whose start was sampled earlier with :meth:`now`.
+
+        For code that cannot use the :meth:`span` context manager (generator
+        frames, callbacks): sample ``started = TRACER.now()`` at entry and
+        call this at exit.
+        """
+        if not self.enabled:
+            return
+        ended = time.perf_counter()
+        record = {
+            "type": "span",
+            "name": name,
+            "pid": self._pid,
+            "wall_ts": started - self._perf_start,
+            "wall_dur": ended - started,
+        }
+        if args:
+            record["args"] = args
+        self._write(record)
+
+    @staticmethod
+    def now() -> float:
+        """Monotonic wall-clock sample for :meth:`span_record` starts."""
+        return time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **args) -> Iterator[None]:
+        """Emit a wall-time span around the enclosed block."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.span_record(name, started, **args)
+
+
+#: The process-wide tracer every subsystem emits through.
+TRACER = Tracer()
+
+
+def configure_tracing(path: str, detail: Optional[str] = None) -> None:
+    """Enable tracing to ``path`` and export it to child processes.
+
+    Sets :data:`TRACE_ENV`/:data:`TRACE_OWNER_ENV` so process-pool workers
+    (which inherit the environment) route their own records to per-worker
+    siblings of ``path`` — see :func:`trace_from_env`.
+    """
+    if detail is None:
+        detail = os.environ.get(TRACE_DETAIL_ENV, "summary")
+    TRACER.configure(path, detail=detail)
+    os.environ[TRACE_ENV] = path
+    os.environ[TRACE_DETAIL_ENV] = TRACER.detail
+    os.environ[TRACE_OWNER_ENV] = str(os.getpid())
+
+
+def trace_from_env() -> bool:
+    """Configure the tracer from the environment if routing is requested.
+
+    Idempotent and cheap when :data:`TRACE_ENV` is unset or the tracer is
+    already configured.  A process whose pid differs from
+    :data:`TRACE_OWNER_ENV` is a pool worker: it writes to the per-worker
+    sibling path so concurrent writers never collide.  Returns whether the
+    tracer is enabled afterwards.
+    """
+    pid = os.getpid()
+    if TRACER.enabled and TRACER._pid != pid:
+        # A fork-started pool worker inherited the parent's live sink.
+        # Writing there would interleave with the parent (shared file
+        # offset) and stamp the parent's pid in every record, so close our
+        # copy — the parent flushes right before spawning workers, leaving
+        # the inherited buffer empty — and re-route below.
+        TRACER.close()
+    path = os.environ.get(TRACE_ENV, "").strip()
+    if not path:
+        return TRACER.enabled
+    if TRACER.enabled:
+        return True
+    detail = os.environ.get(TRACE_DETAIL_ENV, "summary")
+    owner = os.environ.get(TRACE_OWNER_ENV, "").strip()
+    if owner and owner != str(pid):
+        path = worker_trace_path(path, pid)
+    else:
+        os.environ[TRACE_OWNER_ENV] = str(pid)
+    TRACER.configure(path, detail=detail)
+    return True

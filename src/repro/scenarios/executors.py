@@ -38,6 +38,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS, MetricsSnapshot
+from repro.observability.tracer import TRACER, trace_from_env
 from repro.simulation.rng import RandomStreams
 
 #: One broadcast of a task: the random-stream label path (relative to the
@@ -85,20 +87,21 @@ class BroadcastTask:
 class TaskOutput:
     """What a worker ships back for one task: the broadcast results in spec
     order plus, for multi-tenant tasks, the per-iteration actor stats
-    (``None`` entries for plain single-tenant broadcasts)."""
+    (``None`` entries for plain single-tenant broadcasts).
+
+    ``metrics`` is the :class:`~repro.observability.metrics.MetricsSnapshot`
+    *delta* the task accumulated in its process.  Only the process-pool
+    backend merges it into the parent registry — serial and batched tasks
+    run in-process, where the counters already landed in the global
+    registry, and merging again would double-count.
+    """
 
     results: Tuple[BroadcastResult, ...]
     stats: Tuple[Optional[List[dict]], ...]
+    metrics: Optional[MetricsSnapshot] = None
 
 
-def execute_task_output(task: BroadcastTask) -> TaskOutput:
-    """Run every broadcast of a task in order (the worker entry point).
-
-    Single-tenant tasks build one :class:`BitTorrentBroadcast` (and routing
-    table) per task, mirroring the serial campaign's reuse across
-    iterations; multi-tenant tasks route every iteration through the shared
-    workload engine exactly as the serial path does.
-    """
+def _execute_task_body(task: BroadcastTask) -> TaskOutput:
     hosts = list(task.hosts) if task.hosts is not None else None
     if task.workload is not None or task.faults is not None:
         from repro.network.routing import RoutingTable
@@ -130,6 +133,36 @@ def execute_task_output(task: BroadcastTask) -> TaskOutput:
         for labels, root in task.specs
     ]
     return TaskOutput(tuple(results), tuple(None for _ in results))
+
+
+def execute_task_output(task: BroadcastTask) -> TaskOutput:
+    """Run every broadcast of a task in order (the worker entry point).
+
+    Single-tenant tasks build one :class:`BitTorrentBroadcast` (and routing
+    table) per task, mirroring the serial campaign's reuse across
+    iterations; multi-tenant tasks route every iteration through the shared
+    workload engine exactly as the serial path does.
+
+    Telemetry: in a pool worker :func:`~repro.observability.tracer
+    .trace_from_env` routes trace records to a per-worker file (the worker
+    inherits ``REPRO_TRACE`` from the parent), and the registry delta the
+    task accumulated travels back on :attr:`TaskOutput.metrics` for the
+    parent to merge.
+    """
+    tracing = trace_from_env()
+    before = METRICS.snapshot()
+    task_started = TRACER.now() if tracing else 0.0
+    output = _execute_task_body(task)
+    METRICS.count("executor.tasks")
+    if tracing:
+        TRACER.span_record(
+            "executor.task", task_started, broadcasts=len(task.specs)
+        )
+        # Pool workers persist across tasks; flushing here makes the worker
+        # file complete even if the pool is later terminated mid-round.
+        TRACER.flush()
+    delta = METRICS.snapshot().delta_since(before)
+    return TaskOutput(output.results, output.stats, delta)
 
 
 def execute_task(task: BroadcastTask) -> List[BroadcastResult]:
@@ -331,8 +364,14 @@ class ProcessPoolExecutor(CampaignExecutor):
         pending = list(range(len(tasks)))
         errors: List[str] = []
         for attempt in range(self.retries + 1):
-            if attempt and self.retry_backoff:
-                time.sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
+            if attempt:
+                METRICS.count("executor.retries")
+                if TRACER.enabled:
+                    TRACER.event(
+                        "executor.retry", attempt=attempt, tasks=len(pending)
+                    )
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
             pending, errors = self._run_round(tasks, pending, outputs)
             self.task_failures += len(pending)
             if not pending:
@@ -357,7 +396,13 @@ class ProcessPoolExecutor(CampaignExecutor):
         """
         failed: List[int] = []
         errors: List[str] = []
+        round_started = TRACER.now() if TRACER.enabled else 0.0
         max_workers = min(self.workers, len(pending))
+        # Fork-started workers inherit the tracer's open sink; flush it so
+        # the copy they inherit holds no buffered records (each worker then
+        # closes its copy and re-routes to a per-pid sibling file — see
+        # trace_from_env).
+        TRACER.flush()
         pool = futures.ProcessPoolExecutor(max_workers=max_workers)
         future_index = {
             pool.submit(self.task_fn, tasks[i]): i for i in pending
@@ -370,14 +415,32 @@ class ProcessPoolExecutor(CampaignExecutor):
         for future in done:
             index = future_index[future]
             try:
-                outputs[index] = future.result()
+                output = future.result()
             except Exception as exc:  # noqa: BLE001 — any worker death retries
                 failed.append(index)
                 errors.append(f"task {index}: {type(exc).__name__}: {exc}")
+                METRICS.count("executor.worker_crashes")
+                if TRACER.enabled:
+                    TRACER.event(
+                        "executor.worker_crash",
+                        task=index,
+                        error=type(exc).__name__,
+                    )
+            else:
+                outputs[index] = output
+                # Only here — results that crossed a process boundary — are
+                # worker registry deltas folded in; in-process backends
+                # already recorded straight into the parent registry.
+                METRICS.merge(getattr(output, "metrics", None))
         for future in not_done:
             index = future_index[future]
             failed.append(index)
             errors.append(f"task {index}: hung past {self.task_timeout}s")
+            METRICS.count("executor.timeouts")
+            if TRACER.enabled:
+                TRACER.event(
+                    "executor.timeout", task=index, deadline_s=deadline
+                )
             future.cancel()
         if not_done:
             # Hung workers never come back: kill them before abandoning the
@@ -388,6 +451,14 @@ class ProcessPoolExecutor(CampaignExecutor):
         else:
             pool.shutdown(wait=True)
         failed.sort()
+        if TRACER.enabled:
+            TRACER.span_record(
+                "executor.round",
+                round_started,
+                workers=max_workers,
+                submitted=len(future_index),
+                failed=len(failed),
+            )
         return failed, errors
 
 

@@ -24,6 +24,8 @@ from repro.bittorrent.instrumentation import FragmentMatrix
 from repro.bittorrent.swarm import BitTorrentBroadcast, BroadcastResult, SwarmConfig
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.simulation.rng import RandomStreams, derive_seed
 from repro.tomography.metric import EdgeMetric, aggregate_mean
 
@@ -277,6 +279,9 @@ class MeasurementCampaign:
         with open(tmp, "wb") as handle:
             pickle.dump(payload, handle)
         os.replace(tmp, path)
+        METRICS.count("campaign.checkpoint_writes")
+        if TRACER.enabled:
+            TRACER.event("checkpoint.write", iteration=iteration)
 
     def _load_checkpoint(
         self, iteration: int
@@ -304,6 +309,9 @@ class MeasurementCampaign:
             )
         if payload.get("iteration") != iteration:
             return None
+        METRICS.count("campaign.checkpoint_resumes")
+        if TRACER.enabled:
+            TRACER.event("checkpoint.resume", iteration=iteration)
         return payload["result"], payload.get("stats")
 
     # ------------------------------------------------------------------ #
@@ -357,6 +365,7 @@ class MeasurementCampaign:
                 f"campaign quorum not met: {len(outputs)} of {iterations} "
                 f"iterations succeeded, needed {quorum}"
             )
+        METRICS.count("campaign.iterations", len(outputs))
         record = MeasurementRecord(
             hosts=list(self.hosts),
             degraded=bool(failed),

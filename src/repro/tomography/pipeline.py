@@ -23,6 +23,8 @@ from repro.clustering.nmi import normalized_mutual_information, overlapping_nmi
 from repro.clustering.partition import Partition
 from repro.graph.wgraph import WeightedGraph
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.tomography.measurement import MeasurementCampaign, MeasurementRecord
 from repro.tomography.metric import EdgeMetric, metric_graph
 
@@ -233,31 +235,57 @@ class TomographyPipeline:
         n iterations and the result reports itself :attr:`TomographyResult
         .degraded` instead of raising.
         """
-        record = self.campaign.run(iterations, resume=resume, quorum=quorum)
+        with METRICS.timer("pipeline.measure_s"), TRACER.span(
+            "pipeline.measure", iterations=iterations
+        ):
+            record = self.campaign.run(iterations, resume=resume, quorum=quorum)
         return self.analyze(record, track_convergence=track_convergence)
 
     def analyze(
         self, record: MeasurementRecord, track_convergence: bool = True
     ) -> TomographyResult:
         """Phase 2 applied to an existing measurement record."""
-        metric = record.aggregate()
-        graph = metric_graph(metric)
-        partition = self.cluster_metric(metric)
-        q = modularity(graph, partition) if graph.total_weight() > 0 else 0.0
+        analyze_started = TRACER.now() if TRACER.enabled else 0.0
+        with METRICS.timer("pipeline.analyze_s"):
+            metric = record.aggregate()
+            graph = metric_graph(metric)
+            partition = self.cluster_metric(metric)
+            q = modularity(graph, partition) if graph.total_weight() > 0 else 0.0
 
-        nmi = classical = None
-        convergence: List[float] = []
-        if self.ground_truth is not None:
-            scores = self.evaluate(partition)
-            nmi = scores["overlapping_nmi"]
-            classical = scores["classical_nmi"]
-            if track_convergence:
-                # Incremental prefix aggregates: one matrix pass per prefix
-                # instead of re-averaging every prefix from scratch.
-                for partial_metric in record.cumulative_aggregates():
-                    partial = self.cluster_metric(partial_metric)
-                    convergence.append(overlapping_nmi(partial, self.ground_truth))
+            nmi = classical = None
+            convergence: List[float] = []
+            if self.ground_truth is not None:
+                scores = self.evaluate(partition)
+                nmi = scores["overlapping_nmi"]
+                classical = scores["classical_nmi"]
+                if track_convergence:
+                    # Incremental prefix aggregates: one matrix pass per prefix
+                    # instead of re-averaging every prefix from scratch.
+                    tracing = TRACER.enabled
+                    for k, partial_metric in enumerate(
+                        record.cumulative_aggregates(), start=1
+                    ):
+                        partial = self.cluster_metric(partial_metric)
+                        value = overlapping_nmi(partial, self.ground_truth)
+                        convergence.append(value)
+                        if tracing:
+                            TRACER.event(
+                                "pipeline.nmi", iterations=k, nmi=value
+                            )
 
+        METRICS.count("pipeline.runs")
+        METRICS.count("pipeline.iterations", record.iterations)
+        if nmi is not None:
+            METRICS.gauge("pipeline.nmi", nmi)
+        if TRACER.enabled:
+            TRACER.span_record(
+                "pipeline.analyze",
+                analyze_started,
+                iterations=record.iterations,
+                clusters=partition.num_clusters,
+                modularity=q,
+                nmi=nmi,
+            )
         return TomographyResult(
             metric=metric,
             graph=graph,

@@ -40,6 +40,8 @@ from typing import List, Optional
 from repro.network.fluid import FluidNetwork
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
+from repro.observability.metrics import METRICS
+from repro.observability.tracer import TRACER
 from repro.simulation.engine import Event, Simulator
 from repro.workloads.actors import WorkloadActor
 
@@ -152,6 +154,9 @@ class WorkloadEngine:
         for actor in list(self.actors):
             actor.start()
 
+        trace_full = TRACER.full
+        engine_started = TRACER.now() if TRACER.enabled else 0.0
+        dispatched_before = self.events_dispatched
         processed = 0
         while True:
             if blocking and all(actor.done for actor in blocking):
@@ -178,6 +183,12 @@ class WorkloadEngine:
                 self.simulator.advance_to(t_fluid)
                 self.fluid.advance_to(t_fluid)
                 if self.fluid.transitions != snapshot:
+                    if trace_full:
+                        TRACER.event(
+                            "fluid.transition",
+                            sim_time=t_fluid,
+                            transitions=self.fluid.transitions - snapshot,
+                        )
                     self._network_changed(t_fluid, source=None)
                 continue
 
@@ -190,10 +201,27 @@ class WorkloadEngine:
             self.fluid.advance_to(t_event)
             event = self.simulator.step()
             self.events_dispatched += 1
+            if trace_full and event is not None:
+                owner = getattr(event, "owner", None)
+                TRACER.event(
+                    "workload.dispatch",
+                    sim_time=t_event,
+                    actor=getattr(owner, "label", None),
+                )
             if event is not None and self.fluid.transitions != snapshot:
                 self._network_changed(t_event, source=event.owner)
 
         self._running = False
+        dispatched = self.events_dispatched - dispatched_before
+        METRICS.count("workload.dispatches", dispatched)
+        if TRACER.enabled:
+            TRACER.span_record(
+                "workload.run",
+                engine_started,
+                actors=len(self.actors),
+                dispatches=dispatched,
+                sim_end=self.simulator.now,
+            )
         if until is not None:
             self.fluid.advance_to(until)
             self.simulator.advance_to(until)
@@ -202,6 +230,7 @@ class WorkloadEngine:
     # ------------------------------------------------------------------ #
     def _network_changed(self, time: float, source: Optional[object]) -> None:
         """Tell every other actor the shared rate allocation just changed."""
+        METRICS.count("workload.network_changes")
         for actor in self.actors:
             if actor is not source:
                 actor.on_network_change(time)

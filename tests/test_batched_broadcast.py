@@ -17,11 +17,11 @@ import repro.bittorrent.batched as batched_module
 import repro.bittorrent.swarm as swarm_module
 from repro.bittorrent.batched import BatchedBroadcast
 from repro.bittorrent.swarm import (
-    RUN_TALLY,
     STEPPING_MODES,
     BitTorrentBroadcast,
     SwarmConfig,
 )
+from repro.observability.metrics import METRICS
 from repro.bittorrent.torrent import TorrentMeta
 from repro.network.grid5000 import build_bordeaux_site, build_multi_site, default_cluster_of
 from repro.scenarios.executors import BatchedExecutor
@@ -122,13 +122,14 @@ class TestLaneOracle:
         engine = BatchedBroadcast(build_bordeaux_site(3, 2, 1), make_config(30))
         assert engine.run_many([]) == []
 
-    def test_tally_records_width(self):
+    def test_metrics_record_width(self):
         engine = BatchedBroadcast(build_bordeaux_site(3, 2, 1), make_config(30))
-        before_runs = RUN_TALLY["batched_runs"]
-        before_lanes = RUN_TALLY["batched_broadcasts"]
+        before = METRICS.snapshot()
         engine.run_many([(None, np.random.default_rng(s)) for s in (1, 2, 3)])
-        assert RUN_TALLY["batched_runs"] == before_runs + 1
-        assert RUN_TALLY["batched_broadcasts"] == before_lanes + 3
+        delta = METRICS.snapshot().delta_since(before)
+        assert delta.counter("batched.runs") == 1
+        assert delta.counter("batched.lanes") == 3
+        assert delta.counter("swarm.broadcasts") == 3
 
 
 class TestBatchedExecutor:

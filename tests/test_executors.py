@@ -334,6 +334,53 @@ class TestWorkloadFaultTaskThreading:
         )
 
 
+class TestTelemetryMerge:
+    """The metrics registry is per-process; the process pool ships worker
+    snapshot deltas back inside each TaskOutput and merges them into the
+    parent.  The simulation-side counters must therefore agree exactly
+    across serial, process and batched backends — the executor is an
+    execution strategy, not a different instrument."""
+
+    SIM_COUNTERS = (
+        "swarm.broadcasts",
+        "swarm.control_steps",
+        "swarm.receipts",
+        "campaign.iterations",
+    )
+
+    def _campaign_delta(self, topology, config, executor):
+        from repro.observability.metrics import METRICS
+
+        before = METRICS.snapshot()
+        record = MeasurementCampaign(
+            topology, config, seed=42, executor=executor
+        ).run(4)
+        return record, METRICS.snapshot().delta_since(before)
+
+    def test_metrics_merge_identically_across_executors(
+        self, two_site_topology, tiny_swarm_config
+    ):
+        serial_record, serial = self._campaign_delta(
+            two_site_topology, tiny_swarm_config, None
+        )
+        pooled_record, pooled = self._campaign_delta(
+            two_site_topology, tiny_swarm_config, ProcessPoolExecutor(workers=2)
+        )
+        batched_record, batched = self._campaign_delta(
+            two_site_topology, tiny_swarm_config, BatchedExecutor()
+        )
+        assert_records_identical(serial_record, pooled_record)
+        assert_records_identical(serial_record, batched_record)
+        for key in self.SIM_COUNTERS:
+            assert pooled.counter(key) == serial.counter(key), key
+            assert batched.counter(key) == serial.counter(key), key
+        # The pooled counters arrived via worker snapshot merging: more than
+        # one task chunk executed, none of them in this process.
+        assert pooled.counter("executor.tasks") >= 2
+        # The batched backend additionally records its lock-step shape.
+        assert batched.counter("batched.lanes") == 4
+
+
 @pytest.mark.chaos
 class TestWorkerFaultTolerance:
     """Crash/hang injection: the pool must terminate or survive misbehaving
@@ -355,7 +402,34 @@ class TestWorkerFaultTolerance:
         yield
         _CHAOS_FLAG = None
 
-    def test_recovers_from_crashed_worker(self, two_site_topology, tiny_swarm_config):
+    @pytest.fixture
+    def chaos_trace(self, tmp_path):
+        """Trace the chaos run, yield the path, restore the no-op tracer."""
+        from repro.observability.tracer import TRACER
+
+        trace_path = tmp_path / "chaos.jsonl"
+        TRACER.configure(str(trace_path))
+        yield trace_path
+        TRACER.close()
+
+    @staticmethod
+    def _trace_names(trace_path):
+        import json
+
+        from repro.observability.tracer import TRACER
+
+        TRACER.flush()
+        return [
+            json.loads(line).get("name")
+            for line in trace_path.read_text().splitlines()
+        ]
+
+    def test_recovers_from_crashed_worker(
+        self, two_site_topology, tiny_swarm_config, chaos_trace
+    ):
+        from repro.observability.metrics import METRICS
+
+        before = METRICS.snapshot()
         executor = self._chaos_executor(_crash_once_fn)
         record = MeasurementCampaign(
             two_site_topology, tiny_swarm_config, seed=42, executor=executor
@@ -364,8 +438,20 @@ class TestWorkerFaultTolerance:
             self._serial_record(two_site_topology, tiny_swarm_config), record
         )
         assert executor.task_failures >= 1
+        # The telemetry layer saw the crash and the recovery round.
+        delta = METRICS.snapshot().delta_since(before)
+        assert delta.counter("executor.worker_crashes") >= 1
+        assert delta.counter("executor.retries") >= 1
+        names = self._trace_names(chaos_trace)
+        assert "executor.worker_crash" in names
+        assert "executor.retry" in names
 
-    def test_recovers_from_hung_worker(self, two_site_topology, tiny_swarm_config):
+    def test_recovers_from_hung_worker(
+        self, two_site_topology, tiny_swarm_config, chaos_trace
+    ):
+        from repro.observability.metrics import METRICS
+
+        before = METRICS.snapshot()
         executor = self._chaos_executor(_hang_once_fn, task_timeout=15)
         record = MeasurementCampaign(
             two_site_topology, tiny_swarm_config, seed=42, executor=executor
@@ -374,6 +460,12 @@ class TestWorkerFaultTolerance:
             self._serial_record(two_site_topology, tiny_swarm_config), record
         )
         assert executor.task_failures >= 1
+        delta = METRICS.snapshot().delta_since(before)
+        assert delta.counter("executor.timeouts") >= 1
+        assert delta.counter("executor.retries") >= 1
+        names = self._trace_names(chaos_trace)
+        assert "executor.timeout" in names
+        assert "executor.retry" in names
 
     def test_persistent_crash_raises_after_retries(
         self, two_site_topology, tiny_swarm_config

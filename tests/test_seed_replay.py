@@ -353,6 +353,85 @@ def test_fault_campaigns_replay_their_goldens(family, stepping):
     assert fingerprint == FAULT_GOLDENS[family]
 
 
+# ---------------------------------------------------------------------- #
+# telemetry neutrality (PR 9)
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def full_tracing(tmp_path):
+    """Enable full-detail tracing for the test, then restore the no-op state.
+
+    Full detail is deliberately the level under test: it emits the
+    per-control-step records (jumps, conversion passes, fluid transitions,
+    workload dispatches), so any accidental RNG draw or clock perturbation
+    in the hottest instrumentation path would surface here.
+    """
+    from repro.observability.tracer import TRACER
+
+    trace_path = tmp_path / "replay.jsonl"
+    TRACER.configure(str(trace_path), detail="full")
+    yield trace_path
+    TRACER.close()
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_tracing_preserves_the_classic_goldens(full_tracing, stepping):
+    """Telemetry only *reads* state: with full tracing on, the scalar and
+    batched broadcasts reproduce their pinned fingerprints bit for bit."""
+    topology = build_multi_site(
+        {site: {default_cluster_of(site): 4} for site in ("bordeaux", "grenoble")}
+    )
+    fingerprint, _ = broadcast_fingerprint(topology, 80, seed=73, stepping=stepping)
+    assert fingerprint == GOLDENS[stepping]["multi-site"]
+
+    fingerprints, _ = batched_lane_fingerprints(
+        topology, 80, seeds=(73, 7, 41), stepping=stepping
+    )
+    assert fingerprints[0] == GOLDENS[stepping]["multi-site"]
+
+    # The trace actually recorded the work it watched.
+    from repro.observability.tracer import TRACER
+
+    TRACER.flush()
+    lines = full_tracing.read_text().splitlines()
+    assert len(lines) > 1
+
+
+@pytest.mark.parametrize("stepping", STEPPING_MODES)
+def test_tracing_preserves_the_workload_and_fault_goldens(full_tracing, stepping):
+    """Full tracing across the workload engine, fault actors, executors and
+    pipeline leaves every campaign family's fingerprint untouched."""
+    topology = build_multi_site(
+        {site: {default_cluster_of(site): 4} for site in ("bordeaux", "grenoble")}
+    )
+    fingerprint = workload_broadcast_fingerprint(
+        topology, 80, seed=73, stepping=stepping
+    )
+    assert fingerprint == GOLDENS[stepping]["multi-site"]
+
+    fingerprint = campaign_fingerprint(
+        stepping, workload=interference_workload("churn")
+    )
+    assert fingerprint == INTERFERENCE_GOLDENS["churn"]
+
+    fingerprint = campaign_fingerprint(stepping, faults=fault_plan("chaos"))
+    assert fingerprint == FAULT_GOLDENS["chaos"]
+
+    # Fault events made it into the trace, stamped on the simulation clock.
+    import json
+
+    from repro.observability.tracer import TRACER
+
+    TRACER.flush()
+    records = [
+        json.loads(line) for line in full_tracing.read_text().splitlines()
+    ]
+    fault_events = [
+        r for r in records if r.get("name", "").startswith("fault.")
+    ]
+    assert fault_events
+    assert all("sim_ts" in r for r in fault_events)
+
+
 @pytest.mark.parametrize("stepping", STEPPING_MODES)
 def test_empty_fault_plan_replays_the_faultless_goldens(stepping):
     """The acceptance gate of the fault subsystem: an *empty* FaultPlan is a
