@@ -112,3 +112,86 @@ def test_bench_fault_empty_plan_overhead(bench_once, benchmark):
     )
     assert identical
     assert not empty.workload_stats
+
+
+def _record_localization(benchmark, summary):
+    benchmark.extra_info["localization_status"] = summary["localization_status"]
+    benchmark.extra_info["localized_link"] = summary["localized_link"]
+    if summary["localization_rank"] is not None:
+        benchmark.extra_info["localization_rank"] = summary["localization_rank"]
+    if summary["time_to_localize_s"] is not None:
+        benchmark.extra_info["time_to_localize_s"] = summary["time_to_localize_s"]
+
+
+def test_bench_fault_localization(bench_once, benchmark):
+    """The second headline metric: time to *localize* the failed link.
+
+    Runs the LINK-BLACKOUT scenario (Bordeaux substrate with per-cluster
+    uplinks, persistent bottleneck blackout) and records the boolean-
+    tomography verdict next to the detection one.
+    """
+    from repro.scenarios import get_scenario
+
+    summary = bench_once(
+        lambda: get_scenario("LINK-BLACKOUT").run(
+            iterations=max(ITERATIONS // 2, 5),
+            num_fragments=FRAGMENTS,
+            seed=SEED,
+            per_site=PER_SITE,
+        )
+    )
+    _record(benchmark, summary)
+    _record_localization(benchmark, summary)
+    report(
+        "fault localization (LINK-BLACKOUT)",
+        {
+            "verdict": f"{summary['localization_status']}: "
+                       f"{summary['localized_link']}",
+            "true link rank": summary["localization_rank"],
+            "time to localize": f"{summary['time_to_localize_s']:.3f} s",
+        },
+    )
+    assert summary["localization_status"] == "named"
+    assert summary["localized_link"] == summary["true_link"]
+    assert summary["localization_rank"] == 1
+    assert summary["time_to_localize_s"] > 0
+
+
+def test_bench_fault_migrating_selfhealing(bench_once, benchmark):
+    """Self-healing under a relocating failure: reroute + re-pin per
+    epoch, re-detect and re-localize each victim."""
+    from repro.scenarios import get_scenario
+
+    # Pinned at the scenario's own scale (240 fragments): the healed
+    # epoch's residual slowdown rides the backup-link penalty, and at
+    # higher fragment counts it dips under the divergence ratio — the
+    # failure becomes *invisible* because the healing worked.
+    summary = bench_once(
+        lambda: get_scenario("MIGRATING-BOTTLENECK").run(
+            iterations=6,
+            num_fragments=240,
+            seed=SEED,
+            per_site=PER_SITE,
+        )
+    )
+    _record(benchmark, summary)
+    _record_localization(benchmark, summary)
+    epochs = summary["epochs"]
+    benchmark.extra_info["epochs"] = len(epochs)
+    report(
+        "self-healing migrating bottleneck",
+        {
+            "epochs": len(epochs),
+            "per-epoch verdicts": "; ".join(
+                f"e{e['epoch']}: {e.get('localized_link') or e['localization_status']}"
+                f" (rank {e.get('localization_rank')})"
+                for e in epochs
+            ),
+            "worst rank": summary["localization_rank"],
+        },
+    )
+    assert len(epochs) == 2
+    for epoch in epochs:
+        assert epoch["detected"], epoch
+        assert epoch["localization_rank"] is not None
+        assert epoch["localization_rank"] <= 3, epoch

@@ -61,6 +61,7 @@ _SWEEP_COLUMNS = (
     "modularity",
     "measurement_time_s",
     "time_to_detect_s",
+    "time_to_localize_s",
     "node_scaling_ratio",
     "size_scaling_ratio",
     "zero_runs",
@@ -122,6 +123,32 @@ def _setup_tracing(args: argparse.Namespace) -> Optional[int]:
     except TraceConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    return None
+
+
+def _validate_detection_args(args: argparse.Namespace, spec) -> Optional[str]:
+    """Fail-fast checks on the detection/quorum knobs, before any run.
+
+    A bad threshold or an unsatisfiable quorum must surface immediately,
+    not after the campaign burned its measurement budget (or, worse,
+    silently detect nothing because the factor was below 1).
+    """
+    if args.detect_factor is not None and args.detect_factor <= 1.0:
+        return (
+            f"--detect-factor must exceed 1.0 (a duration-spike *ratio*), "
+            f"got {args.detect_factor:g}"
+        )
+    if args.quorum is not None:
+        if args.quorum < 1:
+            return f"--quorum must be at least 1, got {args.quorum}"
+        iterations = (
+            args.iterations if args.iterations is not None else spec.iterations
+        )
+        if args.quorum > iterations:
+            return (
+                f"--quorum ({args.quorum}) cannot exceed the campaign's "
+                f"iterations ({iterations}): the quorum could never be met"
+            )
     return None
 
 
@@ -191,19 +218,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    problem = _validate_detection_args(args, spec)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     status = _setup_tracing(args)
     if status is not None:
         return status
     before = METRICS.snapshot()
-    summary = spec.run(
-        executor=_make_executor(args),
-        stepping=args.stepping,
-        workload=args.workload,
-        faults=args.faults,
-        quorum=args.quorum,
-        **_campaign_kwargs(args),
-        **overrides,
-    )
+    try:
+        summary = spec.run(
+            executor=_make_executor(args),
+            stepping=args.stepping,
+            workload=args.workload,
+            faults=args.faults,
+            quorum=args.quorum,
+            detect_factor=args.detect_factor,
+            **_campaign_kwargs(args),
+            **overrides,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     metrics = METRICS.snapshot().delta_since(before)
     print(spec.format(summary))
     _write_json(
@@ -246,6 +282,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    problem = _validate_detection_args(args, spec)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     status = _setup_tracing(args)
     if status is not None:
         return status
@@ -260,9 +300,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             overrides[param] = value
         before = METRICS.snapshot()
-        summary = spec.run(executor=executor, stepping=args.stepping,
-                           workload=args.workload, faults=args.faults,
-                           quorum=args.quorum, **kwargs, **overrides)
+        try:
+            summary = spec.run(executor=executor, stepping=args.stepping,
+                               workload=args.workload, faults=args.faults,
+                               quorum=args.quorum,
+                               detect_factor=args.detect_factor,
+                               **kwargs, **overrides)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         row = jsonable_summary(summary)
         row["metrics"] = METRICS.snapshot().delta_since(before).jsonable()
         row[param] = value if not isinstance(value, tuple) else list(value)
@@ -327,6 +373,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Enumerate the fault-plan presets ``--faults`` accepts."""
+    from repro.faults import FAULT_PRESETS
+
+    width = max(len(name) for name in FAULT_PRESETS) + 2
+    listing = []
+    for name in sorted(FAULT_PRESETS):
+        plan = FAULT_PRESETS[name]
+        kinds = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(plan.counts_by_kind().items())
+        ) or "no injectors"
+        print(f"  {name:<{width}} intensity={plan.intensity:g}  {kinds}")
+        print(f"  {'':<{width}} {plan.description or '(empty plan)'}")
+        listing.append(
+            {
+                "name": name,
+                "description": plan.description,
+                "injectors": plan.fault_count,
+                "kinds": plan.counts_by_kind(),
+                "intensity": plan.intensity,
+            }
+        )
+    _write_json(args.json, {"command": "faults-list", "presets": listing})
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Print the metric catalogue (the names every run records under)."""
     width = max(len(name) for name in METRIC_CATALOGUE) + 2
@@ -384,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="proceed with >=k surviving iterations instead "
                             "of aborting on the first failed one (the "
                             "summary is then flagged degraded)")
+        p.add_argument("--detect-factor", type=float, default=None,
+                       help="duration-spike ratio over the rolling baseline "
+                            "that counts as a detected failure (fault-"
+                            "injection scenarios; must exceed 1.0)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --executor process")
         p.add_argument("--trace", metavar="PATH", default=None,
@@ -441,6 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument("--json", metavar="PATH", default=None,
                                 help="also write the catalogue to PATH")
 
+    faults_parser = sub.add_parser(
+        "faults", help="inspect the fault-plan presets --faults accepts"
+    )
+    faults_parser.add_argument("action", choices=("list",),
+                               help="list = enumerate the registered presets")
+    faults_parser.add_argument("--json", metavar="PATH", default=None,
+                               help="also write the listing to PATH")
+
     return parser
 
 
@@ -450,6 +535,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "faults": _cmd_faults,
 }
 
 

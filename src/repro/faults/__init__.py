@@ -30,6 +30,7 @@ from repro.faults.spec import (
     fault,
     fault_plan_from_name,
     link_failure_plan,
+    migrating_plan,
     route_flap_plan,
     tenant_cycle_plan,
     tracker_outage_plan,
@@ -55,6 +56,7 @@ __all__ = [
     "fault",
     "fault_plan_from_name",
     "link_failure_plan",
+    "migrating_plan",
     "route_flap_plan",
     "shared_links",
     "tenant_cycle_plan",

@@ -32,7 +32,7 @@ The catalogue:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -68,15 +68,60 @@ def shared_links(topology) -> list:
 
 
 class FaultActor(WorkloadActor):
-    """Base class for fault injectors (a plain actor with a fault tag)."""
+    """Base class for fault injectors (a plain actor with a fault tag).
+
+    Besides the fault tag, the base carries the injectors' shared *control
+    plane*: :meth:`_routing_for` derives (and caches, per avoid-set) a
+    Dijkstra-recomputed :class:`~repro.network.routing.RoutingTable` that
+    steers around a set of failed/flapping links, falling back to the
+    nominal table for pairs the exclusion would disconnect.
+    """
 
     #: Distinguishes fault rows in per-iteration stats aggregation.
     fault = True
+
+    def __init__(self, label: str) -> None:
+        super().__init__(label)
+        self._route_tables: Dict[frozenset, object] = {}
+        self._base_routing = None
+
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        self._base_routing = engine.routing
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()
         out["fault"] = True
         return out
+
+    def _routing_for(self, avoid: frozenset):
+        """Control-plane recompute: a table avoiding ``avoid``, cached.
+
+        An empty avoid-set is the nominal table itself; every distinct
+        non-empty set is computed once (lazy Dijkstra per source inside the
+        table), counted under ``routing.recomputes`` and traced on the
+        simulation clock.  The fallback keeps pairs reachable when the
+        avoided link is their only path.
+        """
+        if not avoid:
+            return self._base_routing
+        table = self._route_tables.get(avoid)
+        if table is None:
+            from repro.network.routing import RoutingTable
+
+            table = RoutingTable(
+                self.engine.topology, avoid=avoid, fallback=self._base_routing
+            )
+            self._route_tables[avoid] = table
+            METRICS.count("routing.recomputes")
+            if TRACER.enabled:
+                TRACER.event(
+                    "routing.recompute",
+                    sim_time=self.engine.now,
+                    actor=self.label,
+                    avoid=sorted(avoid),
+                )
+        return table
 
     def _record_fault(self, event: str, **args) -> None:
         """Count and (when tracing) record one injected fault event.
@@ -112,6 +157,13 @@ class LinkFailureActor(FaultActor):
     Both the failure and the repair go through the counted
     ``set_link_capacity`` transition, so event-stepped sessions are woken
     at the exact instants the world changes.
+
+    With ``reroute=True`` the actor is also a self-healing control plane:
+    each failure (and repair) derives a routing table avoiding every
+    currently-down link (:meth:`FaultActor._routing_for`) and installs it
+    with ``repin=True`` — live flows converge onto the surviving paths at
+    the same instant the capacity collapses.  The default is off, keeping
+    the classic avoid-nothing behaviour (and its goldens) intact.
     """
 
     kind = "link-failure"
@@ -127,6 +179,7 @@ class LinkFailureActor(FaultActor):
         persistent: bool = False,
         limit: Optional[int] = None,
         start_time: float = 0.0,
+        reroute: bool = False,
     ) -> None:
         super().__init__(label)
         if mtbf <= 0:
@@ -143,9 +196,11 @@ class LinkFailureActor(FaultActor):
         self.persistent = persistent
         self.limit = limit
         self.start_time = float(start_time)
+        self.reroute = bool(reroute)
         self.failures = 0
         self.repairs = 0
         self.downtime = 0.0
+        self.failed_links: List[str] = []  # victims, in failure order
         self._nominal: Dict[str, float] = {}
         self._down: Dict[str, float] = {}  # link -> failure time
 
@@ -178,7 +233,11 @@ class LinkFailureActor(FaultActor):
                 victim, self._nominal[victim] * self.residual
             )
             self.failures += 1
+            if victim not in self.failed_links:
+                self.failed_links.append(victim)
             self._record_fault("link-failure", link=victim)
+            if self.reroute:
+                self._apply_routing()
             if not self.persistent:
                 repair = float(self.rng.exponential(self.repair_mean))
                 self.engine.schedule(
@@ -194,6 +253,15 @@ class LinkFailureActor(FaultActor):
         self.engine.fluid.set_link_capacity(name, self._nominal[name])
         self.repairs += 1
         self._record_fault("link-repair", link=name)
+        if self.reroute:
+            self._apply_routing()
+
+    def _apply_routing(self) -> None:
+        """Install the recomputed table for the current down-set, converging
+        live flows onto the surviving paths (the self-healing step)."""
+        self.engine.set_routing(
+            self._routing_for(frozenset(self._down)), repin=True
+        )
 
     def stats(self) -> Dict[str, object]:
         out = super().stats()
@@ -204,6 +272,8 @@ class LinkFailureActor(FaultActor):
                 "repairs": self.repairs,
                 "down_now": len(self._down),
                 "downtime": self.downtime,
+                "failed_links": list(self.failed_links),
+                "rerouted": self.reroute,
             }
         )
         return out
@@ -222,8 +292,10 @@ class RouteFlapActor(FaultActor):
     topologies the fallback keeps the nominal route), and the link's
     capacity is degraded to ``nominal × severity`` for the window —
     reconverging control planes blackhole traffic briefly, which is what
-    makes a flap observable even without path diversity.  In-flight flows
-    keep the route they were opened with.
+    makes a flap observable even without path diversity.  By default
+    in-flight flows keep the route they were opened with; ``repin=True``
+    converges them onto the recomputed paths at each flap/settle instant,
+    mirroring the self-healing link-failure mode.
     """
 
     kind = "route-flap"
@@ -237,6 +309,7 @@ class RouteFlapActor(FaultActor):
         links: Optional[Sequence[str]] = None,
         severity: float = 0.25,
         start_time: float = 0.0,
+        repin: bool = False,
     ) -> None:
         super().__init__(label)
         if interval_mean <= 0 or duration_mean <= 0:
@@ -249,12 +322,11 @@ class RouteFlapActor(FaultActor):
         self.links = list(links) if links is not None else None
         self.severity = severity
         self.start_time = float(start_time)
+        self.repin = bool(repin)
         self.flaps = 0
         self.reroutes = 0
         self._nominal: Dict[str, float] = {}
         self._active: set = set()
-        self._tables: Dict[frozenset, object] = {}
-        self._base_routing = None
 
     def bind(self, engine) -> None:
         super().bind(engine)
@@ -265,7 +337,6 @@ class RouteFlapActor(FaultActor):
         self._nominal = {
             name: engine.fluid.link_capacity(name) for name in self.links
         }
-        self._base_routing = engine.routing
 
     def start(self) -> None:
         self._schedule_flap(self.start_time)
@@ -273,19 +344,6 @@ class RouteFlapActor(FaultActor):
     def _schedule_flap(self, after: float) -> None:
         delay = float(self.rng.exponential(self.interval_mean))
         self.engine.schedule(self, after + delay, self._on_flap)
-
-    def _table_for(self, active: frozenset):
-        if not active:
-            return self._base_routing
-        table = self._tables.get(active)
-        if table is None:
-            from repro.network.routing import RoutingTable
-
-            table = RoutingTable(
-                self.engine.topology, avoid=active, fallback=self._base_routing
-            )
-            self._tables[active] = table
-        return table
 
     def _on_flap(self) -> None:
         stable = [name for name in self.links if name not in self._active]
@@ -316,7 +374,9 @@ class RouteFlapActor(FaultActor):
         self.engine.fluid.set_link_capacity(name, self._nominal[name])
 
     def _apply_routing(self) -> None:
-        self.engine.set_routing(self._table_for(frozenset(self._active)))
+        self.engine.set_routing(
+            self._routing_for(frozenset(self._active)), repin=self.repin
+        )
         self.reroutes += 1
 
     def stats(self) -> Dict[str, object]:

@@ -157,6 +157,7 @@ def _build_fault_actor(
             persistent=bool(p.get("persistent", False)),
             limit=p.get("limit"),
             start_time=float(p.get("start_frac", 0.0)) * duration,
+            reroute=bool(p.get("reroute", False)),
         )
     if spec.kind == "route-flap":
         return RouteFlapActor(
@@ -167,6 +168,7 @@ def _build_fault_actor(
             links=p.get("links"),
             severity=float(p.get("severity", 0.25)),
             start_time=float(p.get("start_frac", 0.0)) * duration,
+            repin=bool(p.get("repin", False)),
         )
     if spec.kind == "tracker-outage":
         return TrackerOutageActor(
@@ -337,6 +339,60 @@ def blackout_plan(
             f"persistent bottleneck failure from iteration {from_iteration}"
         ),
         faults=(fault("link-failure", "blackout", **params),),
+        intensity=1.0 - float(residual),
+    )
+
+
+def migrating_plan(
+    links: Sequence[str],
+    onsets: Sequence[int],
+    residual: float = 0.02,
+    start_frac: float = 0.1,
+    reroute: bool = True,
+) -> FaultPlan:
+    """A persistent failure that *relocates* between campaign epochs.
+
+    ``links[k]`` fails persistently for the epoch spanning iterations
+    ``[onsets[k], onsets[k+1])`` (the last epoch runs to the end of the
+    campaign); with ``reroute=True`` the control plane recomputes routes
+    around each epoch's victim, so the study exercises detection *and*
+    self-healing, then must re-detect and re-localize when the failure
+    moves.  Onsets must be strictly increasing and align one-to-one with
+    the victim links.
+    """
+    links = tuple(links)
+    onsets = tuple(int(o) for o in onsets)
+    if not links:
+        raise ValueError("migrating plan needs at least one victim link")
+    if len(links) != len(onsets):
+        raise ValueError("migrating plan needs one onset per victim link")
+    if any(b <= a for a, b in zip(onsets, onsets[1:])):
+        raise ValueError("migrating plan onsets must be strictly increasing")
+    specs = []
+    for k, (link, onset) in enumerate(zip(links, onsets)):
+        until = onsets[k + 1] if k + 1 < len(onsets) else None
+        specs.append(
+            fault(
+                "link-failure",
+                f"migrate-{k}",
+                mtbf_frac=start_frac,
+                repair_frac=1.0,
+                residual=residual,
+                persistent=True,
+                limit=1,
+                links=(link,),
+                from_iteration=onset,
+                until_iteration=until,
+                reroute=reroute,
+            )
+        )
+    return FaultPlan(
+        name="migrating",
+        description=(
+            f"persistent failure relocating across {len(links)} epochs "
+            f"(onsets {', '.join(str(o) for o in onsets)})"
+        ),
+        faults=tuple(specs),
         intensity=1.0 - float(residual),
     )
 

@@ -269,6 +269,58 @@ class FluidNetwork:
         """Number of in-flight transfers (O(1))."""
         return len(self._active)
 
+    def repin_routes(self, routing: RoutingTable) -> int:
+        """Re-pin every in-flight transfer onto ``routing``'s current routes.
+
+        A routing swap (:meth:`~repro.workloads.engine.WorkloadEngine
+        .set_routing`) normally only steers *new* transfers; this method is
+        the control plane's data-path convergence step: each active transfer
+        whose route changed under ``routing`` is moved to its new link list,
+        keeping its remaining bytes and per-flow rate cap.  The move is a
+        single *transition* — byte state is materialized first and
+        :attr:`transitions` is bumped once — so fixed and event stepping
+        observe the same piecewise-constant rate windows.  Transfers whose
+        route is unchanged are untouched.  Returns the number re-pinned.
+
+        Iteration order over the active set is insertion order, which is a
+        pure function of the simulation history, so re-pinning is
+        deterministic and replays bit-for-bit.
+        """
+        if routing.topology is not self.topology:
+            raise ValueError("re-pin routing table is over a different topology")
+        moved = 0
+        self._materialize(self.now)
+        for transfer in self._active.values():
+            new_links = routing.route_tuple(transfer.src, transfer.dst)
+            if new_links == transfer.links:
+                continue
+            slot = transfer._slot
+            remaining = float(self._remaining[slot])
+            self._flows.remove(slot)
+            del self._by_slot[slot]
+            new_slot = self._flows.add(
+                routing.route_indices(transfer.src, transfer.dst),
+                transfer.rate_cap,
+                assume_unique=True,
+            )
+            if new_slot >= self._remaining.size:
+                grow = self._flows.pool_size - self._remaining.size
+                self._remaining = np.concatenate([self._remaining, np.zeros(grow)])
+                self._rate = np.concatenate([self._rate, np.zeros(grow)])
+                self._size = np.concatenate([self._size, np.zeros(grow)])
+            transfer._slot = new_slot
+            transfer.links = new_links
+            self._remaining[new_slot] = remaining
+            self._size[new_slot] = transfer.size
+            self._rate[new_slot] = 0.0
+            self._by_slot[new_slot] = transfer
+            moved += 1
+        if moved:
+            self._slots_cache = None
+            self._dirty = True
+            self.transitions += 1
+        return moved
+
     def set_link_capacity(self, link: str, capacity: float) -> None:
         """Change one link's capacity, settling the byte state first.
 

@@ -9,11 +9,13 @@ then only needs the per-flow list of link names.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.network.topology import Link, Topology, TopologyError
+from repro.observability.metrics import METRICS
 
 
 class RoutingTable:
@@ -56,6 +58,7 @@ class RoutingTable:
         )
         self._index_routes: Dict[Tuple[str, str], np.ndarray] = {}
         self._name_routes: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self._warned_fallback = False
 
     def capacity_vector(self) -> np.ndarray:
         """Per-link capacities aligned with :attr:`link_index` (a copy)."""
@@ -136,6 +139,21 @@ class RoutingTable:
             return list(self._paths[src][dst])
         except KeyError as exc:
             if self.fallback is not None:
+                # The avoided link is the only path for this pair: real
+                # control planes keep forwarding over it.  Silent once,
+                # counted always — a study that believes it routed *around*
+                # a failure can audit how often it actually could not.
+                METRICS.count("routing.fallback_hits")
+                if not self._warned_fallback:
+                    self._warned_fallback = True
+                    warnings.warn(
+                        f"routing table avoiding {sorted(self.avoid)} has no "
+                        f"path {src!r} -> {dst!r}; serving the fallback route "
+                        "(the avoided link is the only path for at least one "
+                        "pair)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                 return self.fallback.route(src, dst)
             raise TopologyError(f"no route from {src!r} to {dst!r}") from exc
 

@@ -238,6 +238,12 @@ METRIC_CATALOGUE: Dict[str, Tuple[str, str]] = {
     "faults.tracker-recover": ("counter", "tracker outages recovered"),
     "faults.tenant-arrival": ("counter", "tenants cycled in mid-iteration"),
     "faults.tenant-departure": ("counter", "tenants cycled out mid-iteration"),
+    "routing.recomputes": ("counter", "avoid-set routing tables derived by the control plane"),
+    "routing.repins": ("counter", "live flows moved onto recomputed routes"),
+    "routing.fallback_hits": ("counter", "route lookups served by the fallback table (no detour existed)"),
+    "localization.runs": ("counter", "fault-localization analyses performed"),
+    "localization.named": ("counter", "localizations that named a single link"),
+    "localization.ambiguous": ("counter", "localizations degraded to a tied candidate set"),
     "pipeline.runs": ("counter", "tomography pipeline analyses"),
     "pipeline.iterations": ("counter", "iterations aggregated by pipelines"),
     "pipeline.nmi": ("gauge", "overlapping NMI of the latest pipeline run"),

@@ -442,6 +442,44 @@ def _interference_dataset(per_site: int) -> Dataset:
     return dataset("G-T", per_site=per_site)
 
 
+def _localization_dataset(per_site: int, backup: bool = False) -> Dataset:
+    """The fault-localization substrate: Bordeaux's three-cluster site.
+
+    Dataset "B" puts each cluster behind its *own* uplink (Bordeplage
+    behind the 1 GbE bottleneck, Bordereau and Borderline behind
+    distinct router links), so every shared link is crossed by a
+    distinct set of host pairs and boolean tomography can name a failed
+    link outright — unlike G-T, whose serial backbone links are crossed
+    by exactly the same pairs and are indistinguishable by design.
+
+    ``backup=True`` adds a standby inter-switch link between the
+    Bordeplage and Bordereau switches at half the (scaled) bottleneck
+    capacity.  Its latency is set *above* any nominal two-hop detour, so
+    shortest-path routing ignores it while the topology is healthy —
+    baselines, ground truth and goldens are unchanged — but a control
+    plane recomputing around a failed uplink finds it and actually has
+    somewhere to reroute: the self-healing substrate.
+    """
+    from repro.network.grid5000 import BORDEAUX_BOTTLENECK_CAPACITY
+
+    ds = dataset(
+        "B",
+        bordeplage=per_site,
+        bordereau=max(2, per_site - 1),
+        borderline=2,
+    )
+    if backup:
+        scale = min(per_site / 32.0, 1.0)
+        ds.topology.add_link(
+            "bordeaux.bordeplage.switch",
+            "bordeaux.bordereau.switch",
+            capacity=0.5 * BORDEAUX_BOTTLENECK_CAPACITY * scale,
+            latency=2.5e-4,
+            name="bordeaux.backup",
+        )
+    return ds
+
+
 @runner_scenario("RIVAL-BROADCAST", family="rival-broadcast",
                  iterations=4, num_fragments=240,
                  formatter=_format_interference,
@@ -602,6 +640,37 @@ def _format_faults(summary: Dict[str, object]) -> str:
             "failure not detected "
             f"(no duration spike over {summary['detect_factor']:.2f}x baseline)"
         )
+    if summary.get("localized_link"):
+        rank = summary.get("localization_rank")
+        ttl = summary.get("time_to_localize_s")
+        lines.append(
+            f"failure localized: {summary['localized_link']}"
+            f"{f' (true link at rank {rank})' if rank is not None else ''}"
+            + (f", time to localize {ttl:.3f} s" if ttl is not None else "")
+        )
+    elif summary.get("localization_status") not in (None, "no-faults"):
+        candidates = summary.get("localization_candidates") or []
+        suffix = (
+            f"; candidates: {', '.join(c['link'] for c in candidates[:3])}"
+            if candidates else ""
+        )
+        lines.append(
+            f"failure not localized ({summary['localization_status']}{suffix})"
+        )
+    epochs = summary.get("epochs") or []
+    if len(epochs) > 1:
+        for e in epochs:
+            verdict = e.get("localized_link") or e.get("localization_status")
+            lines.append(
+                f"  epoch {e['epoch']} (iterations {e['onset_iteration']}.."
+                f"{e['end_iteration'] - 1}): "
+                f"{'detected' if e.get('detected') else 'not detected'}, "
+                f"localized -> {verdict}"
+                + (
+                    f" (rank {e['localization_rank']})"
+                    if e.get("localization_rank") is not None else ""
+                )
+            )
     if summary.get("link_failures"):
         lines.append(
             f"link failures: {summary['link_failures']} "
@@ -690,7 +759,8 @@ def _scenario_fault_injection(
                  formatter=_format_faults,
                  tags=("beyond-paper", "faults", "sweepable"),
                  description="persistent bottleneck failure mid-campaign; "
-                             "headline metric: time to detect the dead link")
+                             "headline metrics: time to detect and time to "
+                             "localize the dead link")
 def _scenario_link_blackout(
     iterations: int,
     num_fragments: int,
@@ -710,9 +780,71 @@ def _scenario_link_blackout(
     from repro.tomography.faults import DETECT_FACTOR, run_fault_study
 
     _reject_faults_override("LINK-BLACKOUT", faults, "from_iteration/residual")
-    plan = blackout_plan(from_iteration=from_iteration, residual=residual)
+    plan = blackout_plan(
+        from_iteration=from_iteration,
+        residual=residual,
+        link="bordeaux.bordeplage.bottleneck",
+    )
     return run_fault_study(
-        _interference_dataset(per_site), plan, workload=workload,
+        _localization_dataset(per_site), plan, workload=workload,
+        iterations=iterations, num_fragments=num_fragments, seed=seed,
+        noise_threshold=noise_threshold, stepping=stepping,
+        detect_factor=DETECT_FACTOR if detect_factor is None else detect_factor,
+        executor=executor, quorum=quorum,
+    )
+
+
+@runner_scenario("MIGRATING-BOTTLENECK", family="fault-injection",
+                 iterations=8, num_fragments=240,
+                 formatter=_format_faults,
+                 tags=("beyond-paper", "faults", "sweepable"),
+                 description="self-healing routing under a relocating "
+                             "failure: the control plane reroutes around "
+                             "each epoch's victim, the tomography must "
+                             "re-detect and re-localize it")
+def _scenario_migrating_bottleneck(
+    iterations: int,
+    num_fragments: int,
+    seed: int,
+    executor=None,
+    per_site: int = 4,
+    residual: float = 0.02,
+    detect_factor: Optional[float] = None,
+    noise_threshold: float = 0.6,
+    quorum: Optional[int] = None,
+    stepping: Optional[str] = None,
+    workload=None,
+    faults=None,
+):
+    """The failure moves mid-campaign: first the Bordeplage bottleneck
+    collapses, then (after it recovers) the Bordereau uplink does.  Both
+    epochs run with ``reroute=True`` — the control plane recomputes a
+    routing table avoiding the victim and live flows re-pin onto the
+    standby ``bordeaux.backup`` link — so broadcasts *survive* each
+    failure at degraded speed, and the study scores whether detection
+    and localization keep up with the moving target (per-epoch verdicts
+    under ``epochs``)."""
+    from repro.faults import migrating_plan
+    from repro.tomography.faults import DETECT_FACTOR, run_fault_study
+
+    _reject_faults_override("MIGRATING-BOTTLENECK", faults, "residual/onsets")
+    if iterations < 3:
+        raise ValueError(
+            "MIGRATING-BOTTLENECK needs at least 3 iterations "
+            "(a healthy baseline plus one measurement per epoch)"
+        )
+    onset_1 = max(1, iterations // 3)
+    onset_2 = max(onset_1 + 1, (2 * iterations) // 3)
+    plan = migrating_plan(
+        links=(
+            "bordeaux.bordeplage.bottleneck",
+            "bordeaux.bordereau.switch--bordeaux.router",
+        ),
+        onsets=(onset_1, onset_2),
+        residual=residual,
+    )
+    return run_fault_study(
+        _localization_dataset(per_site, backup=True), plan, workload=workload,
         iterations=iterations, num_fragments=num_fragments, seed=seed,
         noise_threshold=noise_threshold, stepping=stepping,
         detect_factor=DETECT_FACTOR if detect_factor is None else detect_factor,

@@ -137,6 +137,7 @@ class ScenarioSpec:
         workload: Optional[object] = None,
         faults: Optional[object] = None,
         quorum: Optional[int] = None,
+        detect_factor: Optional[float] = None,
         **overrides,
     ) -> Dict[str, object]:
         """Execute the scenario and return its summary dictionary.
@@ -184,6 +185,17 @@ class ScenarioSpec:
                 overrides = {**overrides, "faults": faults}
             if quorum is not None:
                 overrides = {**overrides, "quorum": quorum}
+            if detect_factor is not None:
+                # The detector threshold only means something to runners
+                # with a failure-detection stage; anywhere else an explicit
+                # request is an error, not a silently ignored knob.
+                if "detect_factor" not in parameters and not accepts_kwargs:
+                    raise ValueError(
+                        f"scenario {self.name} has no failure detector; "
+                        "--detect-factor only applies to fault-injection "
+                        "scenarios"
+                    )
+                overrides = {**overrides, "detect_factor": detect_factor}
             summary = self.runner(
                 iterations=iterations,
                 num_fragments=num_fragments,
@@ -194,6 +206,12 @@ class ScenarioSpec:
         else:
             from repro.experiments.runners import run_dataset_clustering
 
+            if detect_factor is not None:
+                raise ValueError(
+                    f"scenario {self.name} has no failure detector; "
+                    "--detect-factor only applies to fault-injection "
+                    "scenarios"
+                )
             ds = self.build_dataset(**overrides)
             summary = run_dataset_clustering(
                 ds,

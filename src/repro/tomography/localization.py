@@ -1,0 +1,311 @@
+"""Boolean-tomography fault localization: *name* the failed link.
+
+Detection (:mod:`repro.tomography.faults`) answers *whether* a shared
+link failed and how long noticing took; this module answers *which* one.
+The signal is the campaign's own measurement record: every broadcast
+iteration reports a per-host download completion time, and each of those
+is an end-to-end *path* measurement from the seeding root — exactly the
+probe classic boolean network tomography works from.  A persistent
+capacity collapse on a shared link slows precisely the hosts whose
+traffic crosses it, so the host set splits into a slowed side and a
+healthy side, and the *cut pairs* between the two sides are the boolean
+signature of the failed link's location.
+
+Why not the fragment matrices?  Fragment-exchange counts are nearly
+conserved across a topology cut — every fragment must cross the failed
+link about once regardless of its capacity — so per-pair weight
+divergence barely moves when a link collapses (the very robustness that
+keeps the clustering NMI high under failure).  Completion times are the
+complementary signal the same record already carries: invisible to the
+clustering, maximally sensitive to a capacity collapse.
+
+The algorithm:
+
+1. **Divergence** — average per-host completion times before the
+   failure's onset (the baseline) and after it; each host's *slowdown*
+   is the ratio.  A host pair whose slowdowns differ by at least
+   :data:`DIVERGENCE_RATIO` (and whose slower end actually slowed by
+   that much) is *affected* — it crosses the cut; every other measured
+   pair is *clean*.
+2. **Intersection** — candidate links are those appearing on an
+   affected pair's nominal route (:meth:`~repro.network.routing
+   .RoutingTable.route_tuple`).
+3. **Coverage ranking** — each candidate scores ``affected_hits -
+   clean_hits``: it should explain every affected pair and no clean
+   one.  Ties within :data:`SCORE_TIE_EPS` are honest ambiguity —
+   serial links crossed by exactly the same pairs are indistinguishable
+   to boolean tomography — so the verdict degrades to a ranked
+   candidate set instead of naming an arbitrary winner.
+
+``time_to_localize_s`` mirrors ``time_to_detect_s``: the simulated
+measurement seconds from the onset until the *incremental* verdict first
+names the link the full window ends up naming — the cost of knowing
+*where*, next to the cost of knowing *that*.
+
+:func:`localize_epochs` re-runs the verdict per failure epoch for plans
+whose failure *relocates* mid-campaign (the ``MIGRATING-BOTTLENECK``
+scenario), always against the pre-first-onset baseline — later
+"healthy" windows are contaminated by the previous epoch's failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.routing import RoutingTable
+from repro.observability.metrics import METRICS
+
+#: Slowdown ratio between a pair's endpoints that marks the pair affected.
+DIVERGENCE_RATIO = 1.5
+
+#: Score gap below which two candidates are indistinguishable.
+SCORE_TIE_EPS = 1e-9
+
+#: Candidates retained in the reported ranking.
+MAX_CANDIDATES = 5
+
+Pair = Tuple[str, str]
+
+
+def _mean_completions(
+    records: Sequence[Dict[str, float]],
+) -> Dict[str, float]:
+    """Per-host mean completion time over the given iteration records."""
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in records:
+        for host, t in record.items():
+            totals[host] = totals.get(host, 0.0) + float(t)
+            counts[host] = counts.get(host, 0) + 1
+    return {host: totals[host] / counts[host] for host in totals}
+
+
+def _divergent_pairs(
+    baseline: Dict[str, float],
+    observed: Dict[str, float],
+    ratio: float,
+) -> Tuple[List[Pair], List[Pair]]:
+    """Split measured host pairs into (affected, clean) by slowdown cut.
+
+    A pair is affected when its endpoints' post/pre slowdown factors
+    differ by at least ``ratio`` *and* the slower endpoint really slowed
+    by that much — one endpoint getting faster must not flag a failure.
+    """
+    hosts = sorted(
+        h for h, base in baseline.items() if base > 1e-9 and h in observed
+    )
+    slowdown = {h: max(observed[h], 1e-12) / baseline[h] for h in hosts}
+    affected: List[Pair] = []
+    clean: List[Pair] = []
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            hi = max(slowdown[a], slowdown[b])
+            lo = min(slowdown[a], slowdown[b])
+            if hi >= ratio and hi / lo >= ratio:
+                affected.append((a, b))
+            else:
+                clean.append((a, b))
+    return affected, clean
+
+
+def rank_candidates(
+    affected: Sequence[Pair],
+    clean: Sequence[Pair],
+    routing: RoutingTable,
+) -> List[Dict[str, object]]:
+    """Score every link on an affected route by explanatory coverage.
+
+    ``score = affected_hits - clean_hits``: the failed link should sit on
+    every affected pair's route and on no clean pair's.  Sorted by score
+    descending, then name, for a deterministic ranking.
+    """
+    routes: Dict[Pair, frozenset] = {}
+    for pair in list(affected) + list(clean):
+        routes[pair] = frozenset(routing.route_tuple(*pair))
+    candidates = set()
+    for pair in affected:
+        candidates |= routes[pair]
+    scored = []
+    for link in candidates:
+        hits = sum(1 for pair in affected if link in routes[pair])
+        misses = sum(1 for pair in clean if link in routes[pair])
+        scored.append(
+            {
+                "link": link,
+                "affected_hits": hits,
+                "clean_hits": misses,
+                "score": float(hits - misses),
+            }
+        )
+    scored.sort(key=lambda c: (-c["score"], c["link"]))
+    return scored
+
+
+def _truth_rank(
+    scored: Sequence[Dict[str, object]], truth: Optional[str]
+) -> Optional[int]:
+    """Competition rank of the true link (ties share the best rank)."""
+    if truth is None:
+        return None
+    truth_score = None
+    for cand in scored:
+        if cand["link"] == truth:
+            truth_score = cand["score"]
+            break
+    if truth_score is None:
+        return None
+    better = sum(1 for c in scored if c["score"] > truth_score + SCORE_TIE_EPS)
+    return better + 1
+
+
+def _window_verdict(
+    baseline: Dict[str, float],
+    observed: Dict[str, float],
+    routing: RoutingTable,
+    ratio: float,
+) -> Tuple[str, List[Dict[str, object]], int, int]:
+    """(status, ranked candidates, affected count, measured count)."""
+    affected, clean = _divergent_pairs(baseline, observed, ratio)
+    measured = len(affected) + len(clean)
+    if not affected:
+        return "no-divergence", [], 0, measured
+    scored = rank_candidates(affected, clean, routing)
+    ambiguous = (
+        len(scored) >= 2
+        and scored[0]["score"] - scored[1]["score"] <= SCORE_TIE_EPS
+    )
+    return ("ambiguous" if ambiguous else "named"), scored, len(affected), measured
+
+
+def localize_failure(
+    completions: Sequence[Optional[Dict[str, float]]],
+    durations: Sequence[Optional[float]],
+    onset: int,
+    routing: RoutingTable,
+    truth_link: Optional[str] = None,
+    *,
+    end: Optional[int] = None,
+    baseline_end: Optional[int] = None,
+    ratio: float = DIVERGENCE_RATIO,
+) -> Dict[str, object]:
+    """Localize a persistent failure from a campaign's measurement record.
+
+    ``completions`` / ``durations`` are *planned-iteration aligned* —
+    slot ``i`` holds iteration ``i``'s per-host completion-time dict and
+    broadcast duration, or ``None`` where a quorum campaign lost the
+    iteration.  ``onset`` is the failure's first planned iteration;
+    ``end`` bounds the observed window (exclusive, default: campaign
+    end); ``baseline_end`` bounds the healthy window (default:
+    ``onset``).
+
+    Returns a verdict dict: ``localized_link`` (``None`` unless a single
+    candidate wins outright), ``localization_status`` (``named`` /
+    ``ambiguous`` / ``no-divergence`` / ``no-baseline`` /
+    ``no-measurements``), the ranked ``localization_candidates``,
+    ``localization_rank`` of ``truth_link`` when given, and
+    ``time_to_localize_s`` — measurement seconds from the onset until
+    the incremental verdict first agreed with the full-window one.
+    """
+    METRICS.count("localization.runs")
+    if end is None:
+        end = len(completions)
+    if baseline_end is None:
+        baseline_end = onset
+    out: Dict[str, object] = {
+        "localized_link": None,
+        "localization_status": "no-baseline",
+        "localization_rank": None,
+        "localization_candidates": [],
+        "affected_pairs": 0,
+        "measured_pairs": 0,
+        "true_link": truth_link,
+        "iterations_to_localize": None,
+        "time_to_localize_s": None,
+    }
+    base_records = [c for c in completions[:baseline_end] if c is not None]
+    if not base_records:
+        return out
+    observed_idx = [i for i in range(onset, end) if completions[i] is not None]
+    if not observed_idx:
+        out["localization_status"] = "no-measurements"
+        return out
+
+    baseline = _mean_completions(base_records)
+    status, scored, affected_n, measured_n = _window_verdict(
+        baseline,
+        _mean_completions([completions[i] for i in observed_idx]),
+        routing,
+        ratio,
+    )
+    out.update(
+        localization_status=status,
+        localization_candidates=[dict(c) for c in scored[:MAX_CANDIDATES]],
+        affected_pairs=affected_n,
+        measured_pairs=measured_n,
+        localization_rank=_truth_rank(scored, truth_link),
+    )
+    if status == "named":
+        METRICS.count("localization.named")
+        out["localized_link"] = scored[0]["link"]
+        # Incremental cost: the first onset-anchored prefix whose
+        # unambiguous verdict already names the full window's winner.
+        running: List[Dict[str, float]] = []
+        for k, i in enumerate(observed_idx):
+            running.append(completions[i])
+            p_status, p_scored, _, _ = _window_verdict(
+                baseline, _mean_completions(running), routing, ratio
+            )
+            if p_status == "named" and p_scored[0]["link"] == out["localized_link"]:
+                out["iterations_to_localize"] = k + 1
+                out["time_to_localize_s"] = float(
+                    sum(
+                        durations[j]
+                        for j in range(onset, i + 1)
+                        if j < len(durations) and durations[j] is not None
+                    )
+                )
+                break
+    elif status == "ambiguous":
+        METRICS.count("localization.ambiguous")
+    return out
+
+
+def localize_epochs(
+    completions: Sequence[Optional[Dict[str, float]]],
+    durations: Sequence[Optional[float]],
+    onsets: Sequence[int],
+    routing: RoutingTable,
+    truth_links: Optional[Sequence[Optional[str]]] = None,
+    *,
+    ratio: float = DIVERGENCE_RATIO,
+) -> List[Dict[str, object]]:
+    """Per-epoch localization for a failure that relocates mid-campaign.
+
+    ``onsets`` are the strictly increasing first iterations of each
+    failure epoch; epoch ``k`` spans ``[onsets[k], onsets[k+1])`` (the
+    last runs to the campaign's end).  Every epoch is judged against the
+    *pre-first-onset* baseline — once a failure has been active, later
+    windows are no longer healthy references.
+    """
+    onsets = [int(o) for o in onsets]
+    if any(b <= a for a, b in zip(onsets, onsets[1:])):
+        raise ValueError("epoch onsets must be strictly increasing")
+    verdicts = []
+    for k, onset in enumerate(onsets):
+        end = onsets[k + 1] if k + 1 < len(onsets) else len(completions)
+        truth = truth_links[k] if truth_links else None
+        verdict = localize_failure(
+            completions,
+            durations,
+            onset,
+            routing,
+            truth,
+            end=end,
+            baseline_end=onsets[0],
+            ratio=ratio,
+        )
+        verdict["epoch"] = k
+        verdict["onset_iteration"] = onset
+        verdict["end_iteration"] = end
+        verdicts.append(verdict)
+    return verdicts

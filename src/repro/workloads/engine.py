@@ -116,18 +116,35 @@ class WorkloadEngine:
             actor.start()
         return actor
 
-    def set_routing(self, routing: RoutingTable) -> None:
-        """Swap the routing table mid-run (route flaps).
+    def set_routing(self, routing: RoutingTable, repin: bool = False) -> None:
+        """Swap the routing table mid-run (route flaps, failure recovery).
 
-        Only *new* transfers consult the table; in-flight flows keep the
-        pinned link lists they were opened with.  The replacement must be
-        built over the same topology so its dense link index stays aligned
-        with the fluid network's capacity vector.
+        By default only *new* transfers consult the table; in-flight flows
+        keep the pinned link lists they were opened with (connections
+        surviving a reconverging control plane).  With ``repin=True`` the
+        swap also converges the data path: every live flow whose route
+        changed is moved onto its new path at this instant, in one counted
+        fluid transition (:meth:`~repro.network.fluid.FluidNetwork
+        .repin_routes`), so event-stepped sessions are woken exactly when
+        the allocation changes.  The replacement must be built over the same
+        topology so its dense link index stays aligned with the fluid
+        network's capacity vector.
         """
         if routing.topology is not self.topology:
             raise ValueError("replacement routing table is over a different topology")
         self.routing = routing
         self.fluid.routing = routing
+        if repin:
+            moved = self.fluid.repin_routes(routing)
+            if moved:
+                METRICS.count("routing.repins", moved)
+                if TRACER.enabled:
+                    TRACER.event(
+                        "routing.repin",
+                        sim_time=self.now,
+                        flows=moved,
+                        avoid=sorted(routing.avoid),
+                    )
 
     def schedule(self, actor: WorkloadActor, time: float, callback) -> Event:
         """Put an actor callback on the shared agenda (tagged with its owner)."""

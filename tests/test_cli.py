@@ -187,3 +187,76 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "executor process" in out
+
+
+class TestDetectionKnobs:
+    """Fail-fast validation of --detect-factor/--quorum and `faults list`."""
+
+    def test_detect_factor_below_one_fails_fast(self, capsys):
+        code = main(
+            ["run", "LINK-BLACKOUT", "--iterations", "3", "--fragments", "80",
+             "--per-site", "2", "--detect-factor", "0.9"]
+        )
+        assert code == 2
+        assert "--detect-factor must exceed 1.0" in capsys.readouterr().err
+
+    def test_detect_factor_on_detectorless_scenario_fails(self, capsys):
+        code = main(
+            ["run", "G-T", "--iterations", "1", "--fragments", "80",
+             "--per-site", "2", "--detect-factor", "1.5"]
+        )
+        assert code == 2
+        assert "has no failure detector" in capsys.readouterr().err
+
+    def test_quorum_beyond_iterations_fails_fast(self, capsys):
+        code = main(
+            ["run", "G-T", "--iterations", "2", "--fragments", "80",
+             "--per-site", "2", "--quorum", "9"]
+        )
+        assert code == 2
+        assert "could never be met" in capsys.readouterr().err
+        code = main(
+            ["run", "G-T", "--fragments", "80", "--per-site", "2",
+             "--quorum", "0"]
+        )
+        assert code == 2
+        assert "--quorum must be at least 1" in capsys.readouterr().err
+
+    def test_unknown_fault_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "FAULT-INJECTION", "--faults", "gremlins"]
+            )
+
+    def test_faults_list(self, capsys, tmp_path):
+        path = tmp_path / "faults.json"
+        assert main(["faults", "list", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        for name in ("blackout", "chaos", "none", "route-flap"):
+            assert name in out
+        payload = json.loads(path.read_text())
+        presets = {p["name"]: p for p in payload["presets"]}
+        assert presets["blackout"]["kinds"] == {"link-failure": 1}
+        assert presets["none"]["injectors"] == 0
+
+    def test_detect_factor_forwarded_to_fault_study(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main(
+            ["run", "LINK-BLACKOUT", "--iterations", "3", "--fragments", "80",
+             "--per-site", "2", "--detect-factor", "1.1", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["detect_factor"] == 1.1
+        assert "time_to_localize_s" in payload
+        assert "localization_status" in payload
+
+    def test_sweep_prints_localization_column(self, capsys):
+        code = main(
+            ["sweep", "LINK-BLACKOUT", "--param", "residual", "--values",
+             "0.02,0.05", "--iterations", "4", "--fragments", "150",
+             "--per-site", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time_to_localize_s" in out

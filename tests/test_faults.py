@@ -26,13 +26,16 @@ from repro.faults import (
     fault,
     fault_plan_from_name,
     link_failure_plan,
+    migrating_plan,
     route_flap_plan,
     tenant_cycle_plan,
     tracker_outage_plan,
 )
 from repro.tomography.faults import (
     DETECT_FACTOR,
+    detect_epochs,
     detect_failure,
+    fault_epoch_onsets,
     fault_onset_iteration,
     run_fault_study,
 )
@@ -171,6 +174,21 @@ class TestFaultDeterminism:
                 gt_dataset, config, preset
             ).run(3)
         assert record_digest(records["fixed"]) == record_digest(records["event"])
+
+    def test_stepping_agrees_under_migrating_reroute(self):
+        # The self-healing path (avoid-set recompute + live re-pin) must
+        # keep the two control-loop steppings bit-for-bit identical, like
+        # every other subsystem.
+        from repro.scenarios import get_scenario
+
+        digests = {}
+        for stepping in ("fixed", "event"):
+            summary = get_scenario("MIGRATING-BOTTLENECK").run(
+                iterations=4, num_fragments=120, per_site=2,
+                stepping=stepping,
+            )
+            digests[stepping] = record_digest(summary["result"].record)
+        assert digests["fixed"] == digests["event"]
 
     def test_blackout_shows_up_as_duration_spike(self, gt_dataset, small_config):
         record = self._campaign(
@@ -370,6 +388,90 @@ class TestDetection:
         assert fault_onset_iteration(NO_FAULTS) == 0
         assert fault_onset_iteration(blackout_plan(from_iteration=3)) == 3
         assert fault_onset_iteration(chaos_plan()) == 0
+
+    def test_onset_of_mixed_from_iteration_specs(self):
+        plan = FaultPlan(
+            name="mixed",
+            faults=(
+                fault("link-failure", "late", from_iteration=5),
+                fault("route-flap", "early", from_iteration=2),
+                fault("tracker-outage", "always"),
+            ),
+        )
+        assert fault_onset_iteration(plan) == 0
+        assert fault_epoch_onsets(plan) == [0, 2, 5]
+        assert fault_epoch_onsets(NO_FAULTS) == []
+        migrating = migrating_plan(
+            links=("l1", "l2"), onsets=(2, 4), reroute=False
+        )
+        assert fault_onset_iteration(migrating) == 2
+        assert fault_epoch_onsets(migrating) == [2, 4]
+
+    def test_migrating_plan_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            migrating_plan(links=(), onsets=())
+        with pytest.raises(ValueError, match="one onset per"):
+            migrating_plan(links=("l1", "l2"), onsets=(2,))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            migrating_plan(links=("l1", "l2"), onsets=(4, 2))
+
+    def test_bad_detect_factor_and_window_rejected(self):
+        with pytest.raises(ValueError, match="detect_factor"):
+            detect_failure([1.0, 2.0], onset=1, expected_duration=1.0,
+                           detect_factor=1.0)
+        with pytest.raises(ValueError, match="detect_factor"):
+            detect_failure([1.0, 2.0], onset=1, expected_duration=1.0,
+                           detect_factor=0.5)
+        with pytest.raises(ValueError, match="window"):
+            detect_failure([1.0, 2.0], onset=1, expected_duration=1.0,
+                           window=0)
+
+    def test_empty_and_all_failed_campaigns(self):
+        empty = detect_failure([], onset=0, expected_duration=1.0)
+        assert not empty["detected"]
+        assert empty["baseline_duration_s"] == 1.0
+        assert empty["time_to_detect_s"] is None
+        lost = detect_failure([None, None, None], onset=1,
+                              expected_duration=1.0)
+        assert not lost["detected"]
+        assert lost["detected_iteration"] is None
+
+    def test_lost_iterations_are_skipped_not_charged(self):
+        out = detect_failure([1.0, 1.0, None, 5.0], onset=2,
+                             expected_duration=1.0)
+        assert out["detected_iteration"] == 3
+        assert out["iterations_to_detect"] == 2
+        assert out["time_to_detect_s"] == pytest.approx(5.0)
+
+    def test_rolling_baseline_tracks_drift(self):
+        # Duration creeps up ~10% per iteration — a static pre-onset
+        # median (1.0) would cross the 1.25x threshold at 1.33 and flag
+        # the drift itself; the rolling median + MAD band absorbs the
+        # drift and still trips on the genuine 4.0 spike.
+        drifting = [1.0, 1.0, 1.1, 1.21, 1.33, 1.46, 1.61, 4.0]
+        out = detect_failure(drifting, onset=2, expected_duration=1.0)
+        assert out["detected_iteration"] == 7
+        assert out["iterations_to_detect"] == 6
+        static_threshold = DETECT_FACTOR * 1.0
+        assert any(d > static_threshold for d in drifting[2:7])
+
+    def test_detect_epochs_remaps_iterations(self):
+        durations = [1.0, 1.0, 4.0, 4.0, 0.9, 6.0]
+        verdicts = detect_epochs(durations, onsets=[2, 4],
+                                 expected_duration=1.0)
+        assert [v["epoch"] for v in verdicts] == [0, 1]
+        first, second = verdicts
+        assert first["detected_iteration"] == 2
+        assert first["end_iteration"] == 4
+        # Epoch 1 is judged against the *pre-first-onset* healthy
+        # history; its detection index maps back to campaign iteration 5.
+        assert second["detected_iteration"] == 5
+        assert second["fault_onset_iteration"] == 4
+        assert second["iterations_to_detect"] == 2
+
+    def test_detect_epochs_onsets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            detect_epochs([1.0, 2.0], onsets=[1, 1], expected_duration=1.0)
 
     def test_run_fault_study_headline_metric(self, gt_dataset):
         summary = run_fault_study(

@@ -1,0 +1,223 @@
+"""Boolean-tomography fault localization (:mod:`repro.tomography.localization`).
+
+Unit-level: divergence pair splitting, coverage ranking, honest ambiguity
+on serial links, graceful degradation when there is no baseline or no
+post-onset measurement, and the per-epoch re-localization used by
+migrating failures.  Acceptance-level: the LINK-BLACKOUT scenario names
+its true bottleneck at rank 1, and MIGRATING-BOTTLENECK re-localizes the
+relocated failure in every epoch.
+"""
+
+import pytest
+
+from repro.network.routing import RoutingTable
+from repro.scenarios import get_scenario
+from repro.tomography.localization import (
+    DIVERGENCE_RATIO,
+    localize_epochs,
+    localize_failure,
+    rank_candidates,
+)
+
+#: Per-host completion snapshot of a healthy dumbbell iteration.
+HEALTHY = {f"{side}-{i}": 1.0 for side in ("left", "right") for i in range(3)}
+
+#: The right-hand cluster slowed 10x: the signature of the shared
+#: ``bottleneck`` link collapsing.
+RIGHT_SLOW = {h: (10.0 if h.startswith("right") else 1.0) for h in HEALTHY}
+
+
+class TestRanking:
+    def test_cut_link_dominates_ranking(self, routing):
+        lefts = [f"left-{i}" for i in range(3)]
+        rights = [f"right-{i}" for i in range(3)]
+        affected = [(a, b) for a in lefts for b in rights]
+        clean = [(lefts[0], lefts[1]), (rights[0], rights[1])]
+        scored = rank_candidates(affected, clean, routing)
+        assert scored[0]["link"] == "bottleneck"
+        assert scored[0]["affected_hits"] == 9
+        assert scored[0]["clean_hits"] == 0
+        # Every host uplink explains only its own pairs and also sits on
+        # a clean intra-cluster route: strictly worse.
+        assert all(c["score"] < scored[0]["score"] for c in scored[1:])
+
+    def test_ranking_is_deterministic(self, routing):
+        affected = [("left-0", "right-0")]
+        a = rank_candidates(affected, [], routing)
+        b = rank_candidates(affected, [], routing)
+        assert a == b
+        assert [c["link"] for c in a] == sorted(
+            (c["link"] for c in a),
+            key=lambda n: (-next(x["score"] for x in a if x["link"] == n), n),
+        )
+
+
+class TestLocalizeFailure:
+    def test_names_the_cut_link(self, routing):
+        out = localize_failure(
+            [HEALTHY, HEALTHY, RIGHT_SLOW, RIGHT_SLOW],
+            [1.0, 1.0, 9.0, 9.0],
+            onset=2,
+            routing=routing,
+            truth_link="bottleneck",
+        )
+        assert out["localization_status"] == "named"
+        assert out["localized_link"] == "bottleneck"
+        assert out["localization_rank"] == 1
+        assert out["affected_pairs"] == 9
+        assert out["measured_pairs"] == 15
+
+    def test_time_to_localize_charges_post_onset_measurements(self, routing):
+        out = localize_failure(
+            [HEALTHY, HEALTHY, RIGHT_SLOW, RIGHT_SLOW],
+            [1.0, 1.0, 9.0, 8.0],
+            onset=2,
+            routing=routing,
+        )
+        # The very first post-onset iteration is already decisive.
+        assert out["iterations_to_localize"] == 1
+        assert out["time_to_localize_s"] == pytest.approx(9.0)
+
+    def test_serial_links_degrade_to_ambiguous(self, line_topology):
+        # a, b -- s1 --trunk-- s2 -- c: when c slows, the trunk and c's
+        # uplink are crossed by exactly the same pairs, so boolean
+        # tomography cannot tell them apart and must not pretend to.
+        routing = RoutingTable(line_topology)
+        healthy = {"a": 1.0, "b": 1.0, "c": 1.0}
+        c_slow = {"a": 1.0, "b": 1.0, "c": 10.0}
+        out = localize_failure(
+            [healthy, c_slow], [1.0, 9.0], onset=1, routing=routing,
+            truth_link="trunk",
+        )
+        assert out["localization_status"] == "ambiguous"
+        assert out["localized_link"] is None
+        top = out["localization_candidates"][:2]
+        assert {c["link"] for c in top} == {"trunk", "c--s2"}
+        # The true link shares the best (competition) rank with its twin.
+        assert out["localization_rank"] == 1
+        assert out["time_to_localize_s"] is None
+
+    def test_no_divergence_when_nothing_slowed(self, routing):
+        out = localize_failure(
+            [HEALTHY, HEALTHY], [1.0, 1.0], onset=1, routing=routing
+        )
+        assert out["localization_status"] == "no-divergence"
+        assert out["localization_candidates"] == []
+
+    def test_uniform_slowdown_is_not_a_cut(self, routing):
+        # Everyone 10x slower (congestion, not a link failure): no pair
+        # *diverges*, so no link is blamed.
+        all_slow = {h: 10.0 for h in HEALTHY}
+        out = localize_failure(
+            [HEALTHY, all_slow], [1.0, 9.0], onset=1, routing=routing
+        )
+        assert out["localization_status"] == "no-divergence"
+
+    def test_degrades_without_baseline(self, routing):
+        out = localize_failure([RIGHT_SLOW], [9.0], onset=0, routing=routing)
+        assert out["localization_status"] == "no-baseline"
+        assert out["localized_link"] is None
+
+    def test_degrades_without_measurements(self, routing):
+        out = localize_failure(
+            [HEALTHY, None, None], [1.0, None, None], onset=1, routing=routing
+        )
+        assert out["localization_status"] == "no-measurements"
+
+    def test_lost_iterations_are_skipped(self, routing):
+        out = localize_failure(
+            [HEALTHY, HEALTHY, None, RIGHT_SLOW],
+            [1.0, 1.0, None, 9.0],
+            onset=2,
+            routing=routing,
+        )
+        assert out["localization_status"] == "named"
+        assert out["localized_link"] == "bottleneck"
+        assert out["time_to_localize_s"] == pytest.approx(9.0)
+
+    def test_divergence_ratio_is_tunable(self, routing):
+        mild = {h: (1.3 if h.startswith("right") else 1.0) for h in HEALTHY}
+        default = localize_failure(
+            [HEALTHY, mild], [1.0, 1.3], onset=1, routing=routing
+        )
+        assert default["localization_status"] == "no-divergence"
+        sensitive = localize_failure(
+            [HEALTHY, mild], [1.0, 1.3], onset=1, routing=routing, ratio=1.2
+        )
+        assert sensitive["localization_status"] == "named"
+        assert DIVERGENCE_RATIO == 1.5
+
+
+class TestLocalizeEpochs:
+    def test_epoch_windows_and_baseline_anchor(self, routing):
+        left_slow = {
+            h: (10.0 if h.startswith("left") else 1.0) for h in HEALTHY
+        }
+        verdicts = localize_epochs(
+            [HEALTHY, HEALTHY, RIGHT_SLOW, RIGHT_SLOW, left_slow, left_slow],
+            [1.0, 1.0, 9.0, 9.0, 9.0, 9.0],
+            onsets=[2, 4],
+            routing=routing,
+        )
+        assert [v["epoch"] for v in verdicts] == [0, 1]
+        assert [(v["onset_iteration"], v["end_iteration"]) for v in verdicts] \
+            == [(2, 4), (4, 6)]
+        # Both epochs are judged against the pre-first-onset baseline, so
+        # the relocated failure localizes even though iterations 2..3
+        # were themselves unhealthy.
+        assert all(v["localization_status"] == "named" for v in verdicts)
+        assert verdicts[0]["localized_link"] == "bottleneck"
+        assert verdicts[1]["localized_link"] == "bottleneck"
+
+    def test_onsets_must_increase(self, routing):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            localize_epochs([HEALTHY], [1.0], onsets=[2, 2], routing=routing)
+
+
+# ---------------------------------------------------------------------- #
+# acceptance: the fault-injection scenarios name their true links
+# ---------------------------------------------------------------------- #
+class TestScenarioAcceptance:
+    def test_link_blackout_names_true_link_at_rank_one(self):
+        summary = get_scenario("LINK-BLACKOUT").run(
+            iterations=4, num_fragments=150, per_site=3
+        )
+        assert summary["localization_status"] == "named"
+        assert summary["localized_link"] == "bordeaux.bordeplage.bottleneck"
+        assert summary["true_link"] == "bordeaux.bordeplage.bottleneck"
+        assert summary["localization_rank"] == 1
+        assert summary["time_to_localize_s"] > 0
+        assert summary["detected"]
+
+    def test_migrating_bottleneck_relocalizes_every_epoch(self):
+        summary = get_scenario("MIGRATING-BOTTLENECK").run(
+            iterations=6, num_fragments=150, per_site=3
+        )
+        epochs = summary["epochs"]
+        assert len(epochs) == 2
+        for epoch in epochs:
+            assert epoch["detected"], epoch
+            assert epoch["localization_rank"] is not None
+            assert epoch["localization_rank"] <= 3, epoch
+        # The failure moved; the verdict must move with it.
+        assert epochs[0]["true_link"] == "bordeaux.bordeplage.bottleneck"
+        assert epochs[1]["true_link"] == \
+            "bordeaux.bordereau.switch--bordeaux.router"
+        assert epochs[1]["localized_link"] == epochs[1]["true_link"]
+        # Headline metrics aggregate across epochs.
+        assert summary["localization_rank"] == max(
+            e["localization_rank"] for e in epochs
+        )
+        assert summary["time_to_localize_s"] == pytest.approx(
+            sum(e["time_to_localize_s"] for e in epochs)
+        )
+
+    def test_rerouting_survives_the_blackout(self):
+        # The migrating scenario's substrate carries a dormant backup
+        # link; with rerouting on, post-onset iterations stay within an
+        # order of magnitude of healthy ones instead of collapsing.
+        summary = get_scenario("MIGRATING-BOTTLENECK").run(
+            iterations=6, num_fragments=150, per_site=3
+        )
+        assert summary["time_to_detect_s"] is not None
+        assert summary["time_to_detect_s"] < 5.0

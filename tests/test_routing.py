@@ -1,9 +1,13 @@
 """Unit tests for shortest-path routing."""
 
+import itertools
+import warnings
+
 import pytest
 
 from repro.network.routing import RoutingTable
 from repro.network.topology import MBPS, Host, Switch, Topology, TopologyError
+from repro.observability.metrics import METRICS
 
 
 class TestRouting:
@@ -93,3 +97,97 @@ class TestRouting:
         assert any(name.startswith("renater.") for name in route)
         intra = routing.route(grenoble[0], grenoble[1])
         assert not any(name.startswith("renater.") for name in intra)
+
+
+# --------------------------------------------------------------------- #
+# avoid-set routing: the control plane's self-healing recompute
+# --------------------------------------------------------------------- #
+def _without_link(topo: Topology, link_name: str) -> Topology:
+    """A fresh topology identical to ``topo`` minus one link."""
+    clone = Topology(name=f"{topo.name}-sans-{link_name}")
+    for host in topo.hosts:
+        clone.add_host(host)
+    for switch in topo.switches:
+        clone.add_switch(switch)
+    for link in topo.links:
+        if link.name != link_name:
+            clone.add_link(link.a, link.b, capacity=link.capacity,
+                           latency=link.latency, name=link.name)
+    return clone
+
+
+def _dumbbell_with_backup(dumbbell_topology: Topology) -> Topology:
+    # A dormant detour: higher latency than the bottleneck, so Dijkstra
+    # ignores it while the network is healthy.
+    dumbbell_topology.add_link("sw-left", "sw-right", capacity=5 * MBPS,
+                               latency=1e-3, name="backup")
+    return dumbbell_topology
+
+
+class TestAvoidSetRouting:
+    def test_avoiding_unknown_link_rejected(self, dumbbell_topology):
+        with pytest.raises(TopologyError, match="unknown links"):
+            RoutingTable(dumbbell_topology, avoid={"no-such-link"})
+
+    def test_avoid_equals_fresh_table_on_pruned_topology(
+        self, dumbbell_topology, bordeaux_small, two_site_topology
+    ):
+        """The self-healing property: for every single-link failure, the
+        avoid-set recompute must produce exactly the routes a fresh table
+        computes on the topology with that link physically removed; pairs
+        the removal disconnects raise (no fallback) or serve the nominal
+        route (with fallback)."""
+        for topo in (dumbbell_topology, bordeaux_small, two_site_topology):
+            nominal = RoutingTable(topo)
+            hosts = topo.host_names
+            for link in topo.links:
+                healed = RoutingTable(topo, avoid={link.name})
+                pruned = RoutingTable(_without_link(topo, link.name))
+                fallback = RoutingTable(topo, avoid={link.name},
+                                        fallback=nominal)
+                for src, dst in itertools.combinations(hosts, 2):
+                    try:
+                        expected = pruned.route(src, dst)
+                    except TopologyError:
+                        with pytest.raises(TopologyError):
+                            healed.route(src, dst)
+                        with warnings.catch_warnings():
+                            warnings.simplefilter("ignore")
+                            assert fallback.route(src, dst) == \
+                                nominal.route(src, dst)
+                        continue
+                    assert healed.route(src, dst) == expected, \
+                        (topo.name, link.name, src, dst)
+                    assert link.name not in expected
+
+    def test_detour_taken_when_primary_fails(self, dumbbell_topology):
+        topo = _dumbbell_with_backup(dumbbell_topology)
+        healthy = RoutingTable(topo)
+        assert "bottleneck" in healthy.route("left-0", "right-0")
+        assert "backup" not in healthy.route("left-0", "right-0")
+        healed = RoutingTable(topo, avoid={"bottleneck"}, fallback=healthy)
+        detour = healed.route("left-0", "right-0")
+        assert "backup" in detour
+        assert "bottleneck" not in detour
+
+    def test_fallback_counts_and_warns_once(self, dumbbell_topology):
+        nominal = RoutingTable(dumbbell_topology)
+        healed = RoutingTable(dumbbell_topology, avoid={"bottleneck"},
+                              fallback=nominal)
+        before = METRICS.snapshot().counter("routing.fallback_hits")
+        with pytest.warns(RuntimeWarning, match="serving the fallback route"):
+            assert healed.route("left-0", "right-0") == \
+                nominal.route("left-0", "right-0")
+        # Counted on every hit, warned only on the first.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            healed.route("left-1", "right-1")
+        after = METRICS.snapshot().counter("routing.fallback_hits")
+        assert after - before == 2
+
+    def test_no_fallback_raises_for_disconnected_pair(self, dumbbell_topology):
+        healed = RoutingTable(dumbbell_topology, avoid={"bottleneck"})
+        with pytest.raises(TopologyError, match="no route"):
+            healed.route("left-0", "right-0")
+        # Pairs the failure does not disconnect still route normally.
+        assert len(healed.route("left-0", "left-1")) == 2

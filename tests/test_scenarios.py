@@ -65,6 +65,8 @@ SMOKE_ARGS = {
                         "--per-site", "2"],
     "LINK-BLACKOUT": ["--iterations", "3", "--fragments", "80",
                       "--per-site", "2"],
+    "MIGRATING-BOTTLENECK": ["--iterations", "3", "--fragments", "80",
+                             "--per-site", "2"],
 }
 
 
